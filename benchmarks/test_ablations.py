@@ -1,0 +1,62 @@
+"""Ablations of the §3 design decisions."""
+
+import pytest
+
+from repro.bench.ablations import (
+    run_ablation_code_blocks,
+    run_ablation_e2e,
+    run_ablation_retransmit,
+)
+
+
+def test_ablation_e2e_vs_hop_by_hop(benchmark):
+    table = benchmark.pedantic(
+        run_ablation_e2e, kwargs={"runs": 25, "seed": 0}, rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    table.save()
+
+    hop = dict(zip(table.column("hops"), table.column("hop-by-hop arrival")))
+    e2e = dict(zip(table.column("hops"), table.column("end-to-end arrival")))
+    # §3.2: end-to-end migration is "unacceptably prone to failure" over
+    # multiple lossy links, while hop-by-hop ACKs hold up.
+    assert hop[5] >= 0.7
+    assert e2e[5] < hop[5]
+    assert e2e[5] <= 0.6  # collapses at distance
+    # e2e reliability decays with hop count.
+    assert e2e[5] <= e2e[1]
+
+
+def test_ablation_retransmit_budget(benchmark):
+    table = benchmark.pedantic(
+        run_ablation_retransmit,
+        kwargs={"runs": 25, "seed": 0, "hops": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    table.save()
+
+    rates = dict(zip(table.column("max retransmits"), table.column("arrival rate")))
+    # Retransmissions buy reliability; the paper's budget of 4 suffices.
+    assert rates[4] > rates[0]
+    assert rates[4] >= 0.7
+    assert rates[0] <= 0.75
+
+
+def test_ablation_code_block_size(benchmark):
+    table = benchmark.pedantic(run_ablation_code_blocks, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    table.save()
+
+    rows = {row[0]: row for row in table.rows}
+    assert 22 in rows  # the paper's choice is on the table
+    # Smaller blocks waste less memory to fragmentation...
+    assert rows[8][3] <= rows[110][3]
+    # ...but cost more forward pointers; 440-byte blocks fit only one agent.
+    assert rows[440][4] == 1
+    # The paper's 22-byte blocks fit several of this repo's real agents.
+    assert rows[22][4] >= 3

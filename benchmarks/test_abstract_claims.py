@@ -1,0 +1,24 @@
+"""Abstract/§4 headline claims: 5-hop migration speed and reliability."""
+
+from repro.bench.claims import run_claims
+
+
+def test_abstract_claims(benchmark):
+    table = benchmark.pedantic(
+        run_claims, kwargs={"runs": 40, "seed": 4}, rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    table.save()
+
+    rows = {row[0]: row for row in table.rows}
+    # "An agent can migrate 5 hops in less than 1.1 seconds" — allow sampling
+    # slack at reduced run counts; the full CLI run checks the tight bound.
+    latency_ms = float(rows["5-hop migration latency"][2].split()[0])
+    assert latency_ms < 1400
+    # "...with 92% reliability" (±10 points at this sample size).
+    reliability = float(rows["5-hop migration reliability"][2].rstrip("%")) / 100
+    assert reliability >= 0.65
+    # §4: "the quickest an agent can migrate is once every 0.3 seconds".
+    fastest_s = float(rows["fastest migration interval"][2].split()[0])
+    assert fastest_s <= 0.45

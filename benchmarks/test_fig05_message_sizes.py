@@ -1,0 +1,22 @@
+"""Figure 5: migration message types and sizes."""
+
+from repro.bench.figures import PAPER_FIG5, run_fig5
+from repro.radio.frame import MAX_PAYLOAD
+
+
+def test_fig05_message_sizes(benchmark):
+    table = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    table.save()
+
+    payloads = dict(zip(table.column("type"), table.column("payload B")))
+    # Every message fits a single TinyOS payload — the design constraint the
+    # paper's Figure 5 encodes.
+    assert all(size <= MAX_PAYLOAD for size in payloads.values())
+    # The message taxonomy matches the paper's.
+    assert set(PAPER_FIG5) <= set(payloads)
+    # A code message carries one full 22-byte block plus its header.
+    assert payloads["code"] == 27
+    # State stays compact, as in the paper (their 20 B include TOS overhead).
+    assert payloads["state"] <= PAPER_FIG5["state"]

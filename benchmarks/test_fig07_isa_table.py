@@ -1,0 +1,21 @@
+"""Figure 7: noteworthy instructions and their opcodes."""
+
+from repro.agilla.isa import BY_NAME, INSTRUCTIONS, PAPER_OPCODES
+from repro.bench.figures import run_fig7
+
+
+def test_fig07_isa_table(benchmark):
+    table = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    table.save()
+
+    # Every opcode the paper publishes is preserved bit-for-bit.
+    for name, opcode in PAPER_OPCODES.items():
+        assert BY_NAME[name].opcode == opcode
+    # The ISA covers all three §3.4 categories.
+    names = {idef.name for idef in INSTRUCTIONS}
+    assert {"smove", "wmove", "sclone", "wclone"} <= names  # migration
+    assert {"out", "in", "rd", "inp", "rdp", "tcount"} <= names  # tuple space
+    assert {"rout", "rinp", "rrdp", "regrxn", "deregrxn"} <= names
+    assert {"add", "halt", "putled", "rand", "sense", "pushc"} <= names  # general

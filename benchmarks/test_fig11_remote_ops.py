@@ -1,0 +1,26 @@
+"""Figure 11: one-hop latency of every remote/migration instruction."""
+
+from repro.bench.figures import run_fig11
+
+
+def test_fig11_remote_op_latency(benchmark):
+    table = benchmark.pedantic(
+        run_fig11, kwargs={"samples": 60, "seed": 2}, rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    table.save()
+
+    medians = dict(zip(table.column("opcode"), table.column("median")))
+    stdevs = dict(zip(table.column("opcode"), table.column("stdev")))
+    # Remote tuple-space ops are all in the same ~55-70 ms band.
+    for op in ("rout", "rinp", "rrdp"):
+        assert 35 <= medians[op] <= 100, op
+    # "agent migration instructions have significantly higher overhead than
+    # remote tuple space operations" (§4) — roughly 4x in the paper.
+    for op in ("smove", "wmove", "sclone", "wclone"):
+        assert medians[op] >= 2.5 * medians["rout"], op
+        assert 120 <= medians[op] <= 400, op
+    # "migration operations have higher variance ... since they employ
+    # re-transmit timers in the event of message loss" (§4).
+    assert stdevs["smove"] > 0

@@ -1,0 +1,38 @@
+"""Figure 12: latency of local operations (three latency classes)."""
+
+from repro.bench.figures import PAPER_FIG12_US, run_fig12
+
+
+def test_fig12_local_op_latency(benchmark):
+    table = benchmark.pedantic(
+        run_fig12, kwargs={"repetitions": 20, "seed": 0}, rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    table.save()
+
+    measured = dict(zip(table.column("opcode"), table.column("measured")))
+
+    # Class structure (§4): ~75 µs simple pushes, ~150 µs memory-access ops,
+    # tuple-space ops the most expensive (~292 µs average).
+    class_a = ["loc", "aid", "numnbrs", "pusht", "pushrt"]
+    class_b = ["randnbr", "getnbr", "pushn", "pushcl", "pushloc"]
+    ts_ops = ["out", "inp", "rdp", "in", "rd", "tcount"]
+    for op in class_a:
+        assert 50 <= measured[op] <= 110, op
+    for op in class_b:
+        assert 110 <= measured[op] <= 200, op
+    ts_mean = sum(measured[op] for op in ts_ops) / len(ts_ops)
+    assert 230 <= ts_mean <= 340  # paper: "averaging 292µs"
+    # "in takes longer than rd, which makes sense since it requires modifying
+    # the state of the tuple space" (§4).
+    assert measured["in"] >= measured["rd"]
+    # "blocking tuple space operations take slightly longer than the
+    # non-blocking ones" (§4).
+    assert measured["in"] > measured["inp"]
+    assert measured["rd"] > measured["rdp"]
+    # Everything within the paper's 60-440 µs envelope (±, for overheads).
+    assert all(40 <= value <= 500 for value in measured.values())
+    # Each opcode lands within 35% of the paper's class mean.
+    for op, value in measured.items():
+        assert abs(value - PAPER_FIG12_US[op]) / PAPER_FIG12_US[op] <= 0.35, op

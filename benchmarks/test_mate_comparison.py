@@ -1,0 +1,28 @@
+"""§5 case study: Agilla vs the Mate baseline, quantified."""
+
+from repro.bench.mate_compare import run_mate_comparison
+
+
+def test_mate_comparison(benchmark):
+    table = benchmark.pedantic(
+        run_mate_comparison, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    print()
+    print(table.render())
+    table.save()
+
+    rows = {(row[0], row[1]): row for row in table.rows}
+    # Targeted response: Agilla installs code on ONE node; Mate must
+    # re-flood the entire network (§5: "both are less efficient as they
+    # entail distributing code throughout the entire network").
+    agilla_targeted = rows[("respond at (3,3) only", "Agilla")]
+    mate_targeted = rows[("respond at (3,3) only", "Mate")]
+    assert agilla_targeted[4] == "code on 1 node"
+    assert agilla_targeted[2] < mate_targeted[2]  # far fewer messages
+    # Multi-application: Agilla agents coexist; Mate evicts the old app
+    # ("only one application is enabled to run on the network at a time").
+    assert rows[("run a 2nd application", "Agilla")][4] == "both apps coexist"
+    assert "evicted" in rows[("run a 2nd application", "Mate")][4]
+    # Both systems do achieve full deployment when asked to cover everything.
+    assert rows[("deploy to all 25", "Agilla")][4] == "full coverage"
+    assert rows[("deploy to all 25", "Mate")][4] == "full coverage"

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the core data structures (pytest-benchmark loops).
+
+Not a paper figure: these guard the *simulator's* own performance, so the
+paper-scale experiments (1000 simulated migrations, etc.) stay cheap to run.
+"""
+
+from repro.agilla.assembler import assemble
+from repro.agilla.fields import StringField, TypeWildcard, Value
+from repro.agilla.fields import FieldType
+from repro.agilla.tuples import make_template, make_tuple
+from repro.agilla.tuplespace import TupleSpace
+from repro.apps.fire import firetracker
+from repro.sim.kernel import Simulator
+
+
+def test_bench_tuplespace_out_inp(benchmark):
+    template = make_template(StringField("key"), TypeWildcard(FieldType.VALUE))
+
+    def cycle():
+        space = TupleSpace()
+        for i in range(40):
+            space.out(make_tuple(StringField("key"), Value(i)))
+        while space.inp(template) is not None:
+            pass
+        return space
+
+    space = benchmark(cycle)
+    assert len(space) == 0
+
+
+def test_bench_tuple_matching(benchmark):
+    space = TupleSpace()
+    for i in range(60):
+        space.out(make_tuple(Value(i)))
+    needle = make_tuple(Value(59))
+
+    result = benchmark(space.rdp, needle)
+    assert result == needle
+
+
+def test_bench_assembler(benchmark):
+    program = benchmark(firetracker)
+    assert program.size > 50
+
+
+def test_bench_tuple_codec(benchmark):
+    tup = make_tuple(StringField("fir"), Value(123), Value(-9))
+    encoded = tup.encode()
+
+    def round_trip():
+        from repro.agilla.tuples import AgillaTuple
+
+        decoded, _ = AgillaTuple.decode(encoded)
+        return decoded
+
+    assert benchmark(round_trip) == tup
+
+
+def test_bench_event_kernel(benchmark):
+    def run():
+        sim = Simulator(seed=1)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 2000:
+                sim.schedule(10, tick)
+
+        sim.schedule(0, tick)
+        sim.run_until_idle()
+        return count[0]
+
+    assert benchmark(run) == 2000
+
+
+def test_bench_simulated_migration(benchmark):
+    """Wall-clock cost of one fully simulated one-hop migration."""
+    from tests.util import corridor
+
+    def one_migration():
+        net = corridor(2, seed=7)
+        net.inject(assemble("pushloc 2 1\nsmove\nhalt", name="bmk"), at=(1, 1))
+        net.run(2.0)
+        return net.middleware((2, 1)).migration.arrivals
+
+    assert benchmark(one_migration) == 1

@@ -1,0 +1,23 @@
+"""The abstract's memory claim: 41.6 KB of code, 3.59 KB of data memory."""
+
+from repro.bench.memory_report import PAPER_CODE_BYTES, PAPER_DATA_BYTES, run_memory
+from repro.mote.memory import MICA2_RAM_BYTES
+
+
+def test_memory_footprint(benchmark):
+    table = benchmark.pedantic(run_memory, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    table.save()
+
+    totals = {row[0]: row for row in table.rows}
+    ram_total = totals["TOTAL"][1]
+    flash_total = totals["TOTAL"][2]
+    assert ram_total == PAPER_DATA_BYTES  # 3.59 KB of data memory
+    assert flash_total == PAPER_CODE_BYTES  # 41.6 KB of code
+    assert ram_total < MICA2_RAM_BYTES  # fits the MICA2's 4 KB SRAM
+    # The itemization accounts for every byte.
+    component_ram = sum(
+        row[1] for name, row in totals.items() if name not in ("TOTAL", "paper")
+    )
+    assert component_ram == ram_total

@@ -1,0 +1,62 @@
+"""repro — a full reproduction of the Agilla mobile-agent middleware for
+wireless sensor networks (Fok, Roman, Lu; ICDCS 2005) over a discrete-event
+MICA2/TinyOS simulator.
+
+Quickstart::
+
+    from repro import GridNetwork, assemble
+
+    net = GridNetwork(seed=1)            # 5x5 grid + base station at (0,0)
+    agent = net.inject(assemble('''
+        pushc 1
+        pushc 1          // tuple <value:1> on the stack
+        pushloc 5 1
+        rout             // insert it into (5,1)'s tuple space
+        halt
+    ''', name="rout-demo"))
+    net.run(5.0)
+    print(net.tuples_at((5, 1)))
+"""
+
+from repro.agilla import (
+    Agent,
+    AgentState,
+    AgillaMiddleware,
+    AgillaParams,
+    AgillaTuple,
+    Program,
+    assemble,
+    disassemble,
+    make_template,
+    make_tuple,
+)
+from repro.location import BASE_STATION_LOCATION, Location
+from repro.mote import Environment, FireField, HotspotField, MovingTargetField
+from repro.network import GridNetwork, Node, build_grid_network
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Agent",
+    "AgentState",
+    "AgillaMiddleware",
+    "AgillaParams",
+    "AgillaTuple",
+    "Program",
+    "assemble",
+    "disassemble",
+    "make_template",
+    "make_tuple",
+    "BASE_STATION_LOCATION",
+    "Location",
+    "Environment",
+    "FireField",
+    "HotspotField",
+    "MovingTargetField",
+    "GridNetwork",
+    "Node",
+    "build_grid_network",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""Agilla: mobile-agent middleware with tuple spaces (the paper's core)."""
+
+from repro.agilla.agent import Agent, AgentState
+from repro.agilla.assembler import Program, assemble, code_length, disassemble
+from repro.agilla.constants import NAMED_CONSTANTS
+from repro.agilla.fields import (
+    AgentIdField,
+    FieldType,
+    LocationField,
+    Reading,
+    ReadingWildcard,
+    StringField,
+    TypeWildcard,
+    Value,
+)
+from repro.agilla.isa import (
+    BY_NAME,
+    BY_OPCODE,
+    INSTRUCTIONS,
+    MIGRATION_INSTRUCTIONS,
+    PAPER_OPCODES,
+    REMOTE_TS_INSTRUCTIONS,
+    InstructionDef,
+)
+from repro.agilla.injector import BaseStationConsole, RemoteOpResult, tuple_literal
+from repro.agilla.middleware import AgillaMiddleware
+from repro.agilla.tracer import TraceEntry, Tracer
+from repro.agilla.params import DEFAULT_PARAMS, FLASH_FOOTPRINTS, AgillaParams
+from repro.agilla.reactions import Reaction, ReactionRegistry
+from repro.agilla.tuples import AgillaTuple, make_template, make_tuple
+from repro.agilla.tuplespace import TupleSpace
+
+__all__ = [
+    "Agent",
+    "AgentState",
+    "Program",
+    "assemble",
+    "code_length",
+    "disassemble",
+    "NAMED_CONSTANTS",
+    "AgentIdField",
+    "FieldType",
+    "LocationField",
+    "Reading",
+    "ReadingWildcard",
+    "StringField",
+    "TypeWildcard",
+    "Value",
+    "BY_NAME",
+    "BY_OPCODE",
+    "INSTRUCTIONS",
+    "MIGRATION_INSTRUCTIONS",
+    "PAPER_OPCODES",
+    "REMOTE_TS_INSTRUCTIONS",
+    "InstructionDef",
+    "BaseStationConsole",
+    "RemoteOpResult",
+    "tuple_literal",
+    "AgillaMiddleware",
+    "TraceEntry",
+    "Tracer",
+    "DEFAULT_PARAMS",
+    "FLASH_FOOTPRINTS",
+    "AgillaParams",
+    "Reaction",
+    "ReactionRegistry",
+    "AgillaTuple",
+    "make_template",
+    "make_tuple",
+    "TupleSpace",
+]

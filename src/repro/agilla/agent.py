@@ -1,0 +1,157 @@
+"""The mobile agent: stack, heap, registers, and life-cycle state.
+
+Paper §3.3 / Figure 6: each agent owns a 16-slot operand stack of 40-bit
+tagged values, a 12-variable heap, and three 16-bit registers — the agent id,
+the program counter, and the condition code.  The agent id persists across
+moves; clones receive a fresh id.  Code lives in the instruction manager, not
+in the agent object (it is fetched by address).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+
+from repro.agilla.fields import Field, Value, is_numeric
+from repro.agilla.tuples import MAX_FIELDS, AgillaTuple
+from repro.errors import (
+    AgentError,
+    HeapIndexError,
+    StackOverflowError,
+    StackUnderflowError,
+)
+
+STACK_SLOTS = 16
+HEAP_SLOTS = 12
+
+
+class AgentState(Enum):
+    """Life-cycle states the engine schedules around."""
+
+    READY = "ready"  # runnable, in (or entitled to) the run queue
+    SLEEPING = "sleeping"  # waiting on a sleep timer
+    WAIT_RXN = "wait"  # executed `wait`; runs again when a reaction fires
+    BLOCKED_TS = "blocked"  # blocking in/rd with no match yet
+    REMOTE_WAIT = "remote"  # awaiting a remote tuple-space reply
+    MIGRATING = "migrating"  # being transferred to another node
+    DEAD = "dead"
+
+
+class Agent:
+    """One agent's execution context."""
+
+    def __init__(self, agent_id: int, name: str = "agent"):
+        self.id = agent_id
+        self.name = name
+        self.pc = 0
+        self.condition = 0
+        self.stack: list[Field] = []
+        self.heap: dict[int, Field] = {}
+        self.state = AgentState.READY
+        #: Reactions that fired but have not yet vectored the PC
+        #: (applied at the next instruction boundary).
+        self.pending_reactions: deque[tuple[int, AgillaTuple]] = deque()
+        #: Populated when the agent dies abnormally.
+        self.trap: str | None = None
+        self.death_reason: str | None = None
+        # Statistics.
+        self.instructions_executed = 0
+        self.hops = 0
+        self.clones_spawned = 0
+
+    # ------------------------------------------------------------------
+    # Operand stack
+    # ------------------------------------------------------------------
+    def push(self, field: Field) -> None:
+        if len(self.stack) >= STACK_SLOTS:
+            raise StackOverflowError(
+                f"agent {self.id}: stack overflow ({STACK_SLOTS} slots)"
+            )
+        self.stack.append(field)
+
+    def pop(self) -> Field:
+        if not self.stack:
+            raise StackUnderflowError(f"agent {self.id}: stack underflow")
+        return self.stack.pop()
+
+    def peek(self) -> Field:
+        if not self.stack:
+            raise StackUnderflowError(f"agent {self.id}: stack underflow")
+        return self.stack[-1]
+
+    @property
+    def stack_depth(self) -> int:
+        return len(self.stack)
+
+    def pop_numeric(self) -> int:
+        """Pop a VALUE or READING and return its magnitude."""
+        field = self.pop()
+        if not is_numeric(field):
+            raise AgentError(
+                f"agent {self.id}: expected a numeric stack entry, got {field}"
+            )
+        return field.numeric()
+
+    def pop_typed(self, field_type: type, what: str) -> Field:
+        field = self.pop()
+        if not isinstance(field, field_type):
+            raise AgentError(f"agent {self.id}: expected {what}, got {field}")
+        return field
+
+    # ------------------------------------------------------------------
+    # Tuples on the stack (fields pushed in order, arity on top — §3.4)
+    # ------------------------------------------------------------------
+    def push_tuple(self, tup: AgillaTuple) -> None:
+        for field in tup.fields:
+            self.push(field)
+        self.push(Value(tup.arity))
+
+    def pop_tuple(self) -> AgillaTuple:
+        """Pop an arity count then that many fields (reverse push order)."""
+        arity = self.pop_numeric()
+        if not (0 <= arity <= MAX_FIELDS):
+            raise AgentError(f"agent {self.id}: bad tuple arity {arity}")
+        fields = [self.pop() for _ in range(arity)]
+        fields.reverse()
+        return AgillaTuple(tuple(fields))
+
+    # ------------------------------------------------------------------
+    # Heap
+    # ------------------------------------------------------------------
+    def heap_get(self, slot: int) -> Field:
+        self._check_slot(slot)
+        field = self.heap.get(slot)
+        if field is None:
+            raise HeapIndexError(f"agent {self.id}: heap slot {slot} is empty")
+        return field
+
+    def heap_set(self, slot: int, field: Field) -> None:
+        self._check_slot(slot)
+        self.heap[slot] = field
+
+    def _check_slot(self, slot: int) -> None:
+        if not (0 <= slot < HEAP_SLOTS):
+            raise HeapIndexError(f"agent {self.id}: heap slot {slot} out of range")
+
+    @property
+    def heap_used(self) -> list[int]:
+        """Occupied heap slots in ascending order."""
+        return sorted(self.heap)
+
+    # ------------------------------------------------------------------
+    # Migration support
+    # ------------------------------------------------------------------
+    def reset_weak(self) -> None:
+        """Weak migration: 'the program counter, heap, and stack are reset
+        and the agent resumes running from the beginning' (§2.2)."""
+        self.pc = 0
+        self.condition = 1
+        self.stack.clear()
+        self.heap.clear()
+        self.pending_reactions.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Agent {self.id} '{self.name}' pc={self.pc} "
+            f"{self.state.value} stack={len(self.stack)}>"
+        )

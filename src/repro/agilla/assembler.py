@@ -1,0 +1,248 @@
+"""Two-pass assembler for the Agilla agent language.
+
+The surface syntax follows the paper's listings (Figures 2, 8, 13):
+
+.. code-block:: text
+
+    // The rout agent
+          pushc 1
+          pushc 1          // tuple <value:1> on stack
+          pushloc 5 1
+          rout             // do rout on mote (5,1)
+          halt
+
+* ``//`` starts a comment.
+* A leading token in CAPITALS that is not an instruction is a **label**
+  (``BEGIN pushn fir``); ``LABEL:`` with a trailing colon also works.
+* ``pushc``/``pushcl`` accept integers, named constants
+  (:mod:`repro.agilla.constants`) or labels — ``pushc FIRE`` pushes the
+  address of the ``FIRE`` handler, as Figure 2 line 4 does.
+* ``rjump``/``rjumpc`` take a label (or an explicit signed offset).
+* ``pushloc x y`` takes two integers; ``pushn`` a 1-3 character name;
+  ``pusht``/``pushrt`` a type name or code; ``getvar``/``setvar`` a slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agilla.constants import NAMED_CONSTANTS
+from repro.agilla.fields import pack_string, unpack_string
+from repro.agilla.isa import BY_NAME, BY_OPCODE, InstructionDef, Operand
+from repro.errors import AssemblerError
+from repro.location import Location
+from repro.net.codec import pack_i16, pack_location, unpack_i16, unpack_location
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled agent program."""
+
+    name: str
+    code: bytes
+    labels: dict[str, int] = field(default_factory=dict)
+    source: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.code)
+
+
+@dataclass
+class _Line:
+    number: int
+    label: str | None
+    mnemonic: str
+    operands: list[str]
+    address: int = 0
+
+
+def _strip(line: str) -> str:
+    # Remove // comments (the paper also uses line numbers like "1:").
+    comment = line.find("//")
+    if comment >= 0:
+        line = line[:comment]
+    return line.strip()
+
+
+def _parse_lines(source: str) -> list[_Line]:
+    lines = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = _strip(raw)
+        if not text:
+            continue
+        tokens = text.split()
+        # Tolerate paper-style leading line numbers ("8:" etc.).
+        if tokens and tokens[0].rstrip(":").isdigit():
+            tokens = tokens[1:]
+            if not tokens:
+                continue
+        label = None
+        head = tokens[0]
+        if head.endswith(":") and len(head) > 1:
+            label = head[:-1]
+            tokens = tokens[1:]
+        elif head.isupper() and head.lower() not in BY_NAME and not head.isdigit():
+            label = head
+            tokens = tokens[1:]
+        if not tokens:
+            if label is None:
+                continue
+            # A bare label applies to the next instruction: represent as a
+            # zero-length pseudo-line.
+            lines.append(_Line(number, label, "", []))
+            continue
+        mnemonic = tokens[0].lower()
+        if mnemonic not in BY_NAME:
+            raise AssemblerError(f"line {number}: unknown instruction {tokens[0]!r}")
+        lines.append(_Line(number, label, mnemonic, tokens[1:]))
+    return lines
+
+
+def _resolve_value(token: str, labels: dict[str, int], line: int) -> int:
+    if token in labels:
+        return labels[token]
+    if token in NAMED_CONSTANTS:
+        return int(NAMED_CONSTANTS[token])
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {line}: {token!r} is not a number, constant, or label"
+        ) from None
+
+
+def _encode_operand(
+    idef: InstructionDef,
+    operands: list[str],
+    labels: dict[str, int],
+    line: _Line,
+) -> bytes:
+    kind = idef.operand
+    expected = {Operand.LOCATION: 2}.get(kind, 0 if kind == Operand.NONE else 1)
+    if len(operands) != expected:
+        raise AssemblerError(
+            f"line {line.number}: {idef.name} takes {expected} operand(s), "
+            f"got {len(operands)}"
+        )
+    if kind == Operand.NONE:
+        return b""
+    if kind == Operand.U8:
+        value = _resolve_value(operands[0], labels, line.number)
+        if not (0 <= value <= 255):
+            raise AssemblerError(
+                f"line {line.number}: pushc operand {value} out of 0..255 "
+                "(use pushcl)"
+            )
+        return bytes([value])
+    if kind == Operand.I16:
+        value = _resolve_value(operands[0], labels, line.number)
+        if not (-32768 <= value <= 32767):
+            raise AssemblerError(f"line {line.number}: value {value} out of int16")
+        return pack_i16(value)
+    if kind == Operand.I8_REL:
+        if operands[0] in labels:
+            offset = labels[operands[0]] - line.address
+        else:
+            offset = _resolve_value(operands[0], labels, line.number)
+        if not (-128 <= offset <= 127):
+            raise AssemblerError(
+                f"line {line.number}: jump to {operands[0]!r} is {offset} bytes "
+                "away (relative jumps reach ±127)"
+            )
+        return bytes([offset & 0xFF])
+    if kind == Operand.STRING:
+        try:
+            return pack_string(operands[0])
+        except Exception as exc:
+            raise AssemblerError(f"line {line.number}: {exc}") from None
+    if kind in (Operand.TYPE, Operand.RTYPE):
+        value = _resolve_value(operands[0], labels, line.number)
+        if not (0 <= value <= 255):
+            raise AssemblerError(f"line {line.number}: type code {value} out of range")
+        return bytes([value])
+    if kind == Operand.LOCATION:
+        x = _resolve_value(operands[0], labels, line.number)
+        y = _resolve_value(operands[1], labels, line.number)
+        return pack_location(Location(x, y))
+    if kind == Operand.VAR:
+        value = _resolve_value(operands[0], labels, line.number)
+        if not (0 <= value <= 11):
+            raise AssemblerError(
+                f"line {line.number}: heap slot {value} out of 0..11"
+            )
+        return bytes([value])
+    raise AssemblerError(f"line {line.number}: unhandled operand kind {kind}")
+
+
+def assemble(source: str, name: str = "agent") -> Program:
+    """Assemble Agilla assembly text into a :class:`Program`."""
+    lines = _parse_lines(source)
+
+    # Pass 1: assign addresses and collect labels.
+    labels: dict[str, int] = {}
+    address = 0
+    for line in lines:
+        line.address = address
+        if line.label is not None:
+            if line.label in labels:
+                raise AssemblerError(
+                    f"line {line.number}: duplicate label {line.label!r}"
+                )
+            labels[line.label] = address
+        if line.mnemonic:
+            address += BY_NAME[line.mnemonic].length
+
+    # Pass 2: encode.
+    chunks = []
+    for line in lines:
+        if not line.mnemonic:
+            continue
+        idef = BY_NAME[line.mnemonic]
+        chunks.append(bytes([idef.opcode]))
+        chunks.append(_encode_operand(idef, line.operands, labels, line))
+    code = b"".join(chunks)
+    if not code:
+        raise AssemblerError("empty program")
+    return Program(name=name, code=code, labels=dict(labels), source=source)
+
+
+# ----------------------------------------------------------------------
+# Disassembler (round-trip testing, debugging, documentation)
+# ----------------------------------------------------------------------
+def disassemble(code: bytes) -> list[str]:
+    """Decode bytecode back into one mnemonic line per instruction."""
+    lines = []
+    pc = 0
+    while pc < len(code):
+        idef = BY_OPCODE.get(code[pc])
+        if idef is None:
+            raise AssemblerError(f"invalid opcode 0x{code[pc]:02x} at {pc}")
+        if pc + idef.length > len(code):
+            raise AssemblerError(f"truncated {idef.name} at {pc}")
+        body = code[pc + 1 : pc + idef.length]
+        lines.append(_format_instruction(idef, body, pc))
+        pc += idef.length
+    return lines
+
+
+def _format_instruction(idef: InstructionDef, body: bytes, pc: int) -> str:
+    kind = idef.operand
+    if kind == Operand.NONE:
+        return idef.name
+    if kind in (Operand.U8, Operand.TYPE, Operand.RTYPE, Operand.VAR):
+        return f"{idef.name} {body[0]}"
+    if kind == Operand.I16:
+        return f"{idef.name} {unpack_i16(body)}"
+    if kind == Operand.I8_REL:
+        offset = body[0] if body[0] < 128 else body[0] - 256
+        return f"{idef.name} {offset}"
+    if kind == Operand.STRING:
+        return f"{idef.name} {unpack_string(body)}"
+    location = unpack_location(body)
+    return f"{idef.name} {location.x} {location.y}"
+
+
+def code_length(source: str) -> int:
+    """Size in bytes the assembled program will occupy."""
+    return assemble(source).size

@@ -1,0 +1,43 @@
+"""Named constants usable as operands in Agilla assembly programs.
+
+The paper's listings use symbolic names (``TEMPERATURE``, ``LOCATION``,
+``FIRE``); labels come from the program itself, the rest from this table.
+"""
+
+from __future__ import annotations
+
+from repro.agilla.fields import FieldType
+from repro.mote import leds, sensors
+
+
+def _led(op: int, mask: int) -> int:
+    return (op << 3) | mask
+
+
+#: Symbol table offered to every assembled program.
+NAMED_CONSTANTS: dict[str, int] = {
+    # Sensor types (for `pushc <type>; sense` and `pushrt`).
+    "TEMPERATURE": sensors.TEMPERATURE,
+    "LIGHT": sensors.LIGHT,
+    "MAGNETOMETER": sensors.MAGNETOMETER,
+    "SOUND": sensors.SOUND,
+    "ACCELERATION": sensors.ACCELERATION,
+    # Field-type codes (for `pusht` wildcards).
+    "VALUE": FieldType.VALUE,
+    "STRING": FieldType.STRING,
+    "LOCATION": FieldType.LOCATION,
+    "READING": FieldType.READING,
+    "AGENTID": FieldType.AGENT_ID,
+    # LED commands (for `pushc <cmd>; putled`).
+    "LED_RED_ON": _led(leds.OP_ON, 0b001),
+    "LED_GREEN_ON": _led(leds.OP_ON, 0b010),
+    "LED_YELLOW_ON": _led(leds.OP_ON, 0b100),
+    "LED_RED_OFF": _led(leds.OP_OFF, 0b001),
+    "LED_GREEN_OFF": _led(leds.OP_OFF, 0b010),
+    "LED_YELLOW_OFF": _led(leds.OP_OFF, 0b100),
+    "LED_RED_TOGGLE": _led(leds.OP_TOGGLE, 0b001),
+    "LED_GREEN_TOGGLE": _led(leds.OP_TOGGLE, 0b010),
+    "LED_YELLOW_TOGGLE": _led(leds.OP_TOGGLE, 0b100),
+    "LED_ALL_OFF": _led(leds.OP_OFF, 0b111),
+    "LED_ALL_ON": _led(leds.OP_ON, 0b111),
+}

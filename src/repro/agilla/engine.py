@@ -1,0 +1,256 @@
+"""The Agilla engine: the virtual-machine kernel (paper §3.2).
+
+"The Agilla engine serves as the virtual machine kernel that controls the
+concurrent execution of all agents on a node.  It implements a simple
+round-robin scheduling policy where each agent can execute a fixed number of
+instructions before switching context.  The default number of instructions
+is 4 ...  if an agent executes a long-running instruction like sleep, sense,
+or wait, the engine immediately switches context."
+
+Every instruction runs as its own TinyOS task on the mote's 8 MHz CPU; the
+per-instruction cycle cost (ISA class + runtime-dependent arena work) is what
+the Figure 12 benchmark measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.agilla.agent import Agent, AgentState
+from repro.agilla.execution import ExecContext, Outcome
+from repro.agilla.isa import BY_OPCODE, InstructionDef
+from repro.agilla.tuples import AgillaTuple
+from repro.agilla.vm_ops import HANDLERS
+from repro.agilla.fields import Value
+from repro.errors import AgentError, CodeMemoryError
+from repro.sim.kernel import EventHandle
+
+#: Cycles the engine spends picking the next agent/instruction (task body).
+DISPATCH_CYCLES = 90
+#: Extra cycles when a fetch crosses a 22-byte code-block boundary
+#: (forward-pointer chase in the instruction manager).
+BLOCK_CROSS_CYCLES = 60
+
+
+class AgillaEngine:
+    """Round-robin scheduler and bytecode interpreter for one node."""
+
+    def __init__(self, middleware: Any):
+        self.middleware = middleware
+        self.run_queue: deque[Agent] = deque()
+        self._pumping = False
+        self._current: Agent | None = None
+        self._slice_left = 0
+        self._sleep_handles: dict[int, EventHandle] = {}
+        #: Optional instrumentation hook: ``fn(agent, idef, cycles)`` called
+        #: for every executed instruction (used by the Figure 12 benchmark).
+        self.on_instruction: Callable[[Agent, InstructionDef, int], None] | None = None
+        middleware.mote.memory.allocate(
+            "AgillaEngine", "run queue", 2 * middleware.params.max_agents
+        )
+        # Statistics.
+        self.instructions_executed = 0
+        self.context_switches = 0
+        self.traps = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling interface
+    # ------------------------------------------------------------------
+    def make_ready(self, agent: Agent) -> None:
+        """Mark an agent runnable and ensure the engine is pumping."""
+        if agent.state == AgentState.DEAD:
+            return
+        agent.state = AgentState.READY
+        if agent not in self.run_queue:
+            self.run_queue.append(agent)
+        self._pump()
+
+    def remove(self, agent: Agent) -> None:
+        """Drop an agent from the run queue (death or departure)."""
+        try:
+            self.run_queue.remove(agent)
+        except ValueError:
+            pass
+        if self._current is agent:
+            self._current = None
+        handle = self._sleep_handles.pop(agent.id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def arm_sleep(self, agent: Agent, duration: int) -> None:
+        """Arm the wake-up event for a ``sleep`` instruction."""
+        sim = self.middleware.mote.sim
+        self._sleep_handles[agent.id] = sim.schedule(duration, self._wake, agent)
+
+    def cancel_sleep(self, agent: Agent) -> None:
+        handle = self._sleep_handles.pop(agent.id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _wake(self, agent: Agent) -> None:
+        self._sleep_handles.pop(agent.id, None)
+        if agent.state == AgentState.SLEEPING:
+            self.make_ready(agent)
+
+    # ------------------------------------------------------------------
+    # Interpreter loop (each instruction is one CPU task)
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        if self._pumping:
+            return
+        self._pumping = True
+        self.middleware.mote.tasks.post(DISPATCH_CYCLES, self._dispatch)
+
+    def _dispatch(self) -> None:
+        while self.run_queue and self.run_queue[0].state != AgentState.READY:
+            self.run_queue.popleft()
+        if not self.run_queue:
+            self._pumping = False
+            self._current = None
+            return
+        agent = self.run_queue[0]
+        if self._current is not agent:
+            self._current = agent
+            self._slice_left = self.middleware.params.slice_length
+            self.context_switches += 1
+        self._execute_one(agent)
+
+    def _execute_one(self, agent: Agent) -> None:
+        if agent.pending_reactions:
+            if not self._vector_reaction(agent):
+                self._continue()
+                return
+
+        manager = self.middleware.instruction_manager
+        try:
+            opcode = manager.read(agent.id, agent.pc, 1)[0]
+            idef = BY_OPCODE.get(opcode)
+            if idef is None:
+                raise AgentError(f"agent {agent.id}: invalid opcode 0x{opcode:02x}")
+            raw = manager.read(agent.id, agent.pc, idef.length)
+        except (AgentError, CodeMemoryError) as exc:
+            self._trap(agent, exc)
+            self._continue()
+            return
+
+        pc_before = agent.pc
+        agent.pc = pc_before + idef.length
+        context = ExecContext(
+            agent=agent,
+            middleware=self.middleware,
+            idef=idef,
+            operand=raw[1:],
+            pc_before=pc_before,
+        )
+        try:
+            outcome, extra = HANDLERS[idef.name](context)
+        except AgentError as exc:
+            self._trap(agent, exc)
+            self._continue()
+            return
+
+        cycles = idef.base_cycles + extra
+        if manager.crosses_block(agent.id, pc_before, idef.length):
+            cycles += BLOCK_CROSS_CYCLES
+        override = self.middleware.params.cycle_overrides.get(idef.name)
+        if override is not None:
+            cycles = override + extra
+        agent.instructions_executed += 1
+        self.instructions_executed += 1
+        if self.on_instruction is not None:
+            self.on_instruction(agent, idef, cycles)
+        # Apply the outcome now (so services deferred through the task queue
+        # observe the agent's new state), then charge the CPU for the
+        # instruction's cycles before the interpreter moves on.
+        self._apply_outcome(agent, outcome, pc_before)
+        self.middleware.mote.cpu.execute(cycles, self._continue)
+
+    def _vector_reaction(self, agent: Agent) -> bool:
+        """Redirect the PC to a fired reaction's handler (§3.2/§3.3).
+
+        The original PC is saved on the stack (so handler code can ``jump``
+        back) and the matched tuple is pushed above it.
+        """
+        handler_pc, tup = agent.pending_reactions.popleft()
+        try:
+            agent.push(Value(agent.pc))
+            agent.push_tuple(tup)
+        except AgentError as exc:
+            self._trap(agent, exc)
+            return False
+        agent.pc = handler_pc
+        return True
+
+    def _apply_outcome(self, agent: Agent, outcome: Outcome, pc_before: int) -> None:
+        if agent.state == AgentState.DEAD:
+            return
+        if outcome == Outcome.CONTINUE:
+            self._slice_left -= 1
+            if self._slice_left <= 0:
+                self._rotate(agent, still_ready=True)
+        elif outcome == Outcome.HALT:
+            self.middleware.agent_manager.kill(agent, "halt")
+        elif outcome == Outcome.YIELD:
+            self._rotate(agent, still_ready=True)
+        elif outcome == Outcome.SLEEP:
+            agent.state = AgentState.SLEEPING
+            self._rotate(agent, still_ready=False)
+        elif outcome == Outcome.WAIT:
+            if agent.pending_reactions:
+                # A reaction fired while `wait` executed: stay runnable.
+                self._rotate(agent, still_ready=True)
+            else:
+                agent.state = AgentState.WAIT_RXN
+                self._rotate(agent, still_ready=False)
+        elif outcome == Outcome.BLOCKED_TS:
+            agent.pc = pc_before  # retry the in/rd on the next insert
+            agent.state = AgentState.BLOCKED_TS
+            self.middleware.tuplespace_manager.block(agent)
+            self._rotate(agent, still_ready=False)
+        elif outcome == Outcome.MIGRATING:
+            agent.state = AgentState.MIGRATING
+            self._rotate(agent, still_ready=False)
+        elif outcome == Outcome.REMOTE_WAIT:
+            agent.state = AgentState.REMOTE_WAIT
+            self._rotate(agent, still_ready=False)
+
+    def _rotate(self, agent: Agent, still_ready: bool) -> None:
+        if self.run_queue and self.run_queue[0] is agent:
+            self.run_queue.popleft()
+        elif agent in self.run_queue:
+            self.run_queue.remove(agent)
+        if still_ready:
+            self.run_queue.append(agent)
+        self._current = None
+
+    def _continue(self) -> None:
+        if self.run_queue:
+            self.middleware.mote.tasks.post(DISPATCH_CYCLES, self._dispatch)
+        else:
+            self._pumping = False
+            self._current = None
+
+    def _trap(self, agent: Agent, exc: Exception) -> None:
+        self.traps += 1
+        agent.trap = str(exc)
+        self.middleware.agent_manager.kill(agent, f"trap: {exc}")
+
+    # ------------------------------------------------------------------
+    # Reaction delivery
+    # ------------------------------------------------------------------
+    def deliver_reaction(self, agent: Agent, handler_pc: int, tup: AgillaTuple) -> None:
+        """Queue a fired reaction; wake the agent if it is parked."""
+        if agent.state in (AgentState.DEAD, AgentState.MIGRATING):
+            return
+        agent.pending_reactions.append((handler_pc, tup))
+        if agent.state == AgentState.SLEEPING:
+            self.cancel_sleep(agent)
+            self.make_ready(agent)
+        elif agent.state == AgentState.WAIT_RXN:
+            self.make_ready(agent)
+        elif agent.state == AgentState.BLOCKED_TS:
+            self.middleware.tuplespace_manager.unblock(agent)
+            self.make_ready(agent)
+        # READY agents vector at their next instruction boundary;
+        # REMOTE_WAIT agents vector once the reply or timeout releases them.

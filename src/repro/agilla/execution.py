@@ -1,0 +1,53 @@
+"""Shared types between the engine and the instruction handlers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Any
+
+from repro.agilla.agent import Agent
+from repro.agilla.isa import InstructionDef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.agilla.middleware import AgillaMiddleware
+
+
+class Outcome(Enum):
+    """What the engine should do after an instruction completes."""
+
+    CONTINUE = "continue"  # next instruction, same slice
+    HALT = "halt"  # agent died voluntarily
+    YIELD = "yield"  # long-running op: context-switch now (§3.2)
+    SLEEP = "sleep"  # timer armed; park until it fires
+    WAIT = "wait"  # park until a reaction fires
+    BLOCKED_TS = "blocked"  # in/rd missed; retry this instruction on insert
+    MIGRATING = "migrating"  # handed to the agent sender
+    REMOTE_WAIT = "remote"  # waiting for a remote tuple-space reply
+
+
+@dataclass
+class ExecContext:
+    """Everything an instruction handler may touch."""
+
+    agent: Agent
+    middleware: Any  # AgillaMiddleware (typed loosely: import cycle)
+    idef: InstructionDef
+    operand: bytes
+    pc_before: int
+
+    @property
+    def mote(self):
+        return self.middleware.mote
+
+    @property
+    def params(self):
+        return self.middleware.params
+
+    @property
+    def rng(self):
+        return self.middleware.rng
+
+
+#: Handler result: what next, plus runtime-dependent extra cycles.
+HandlerResult = tuple[Outcome, int]

@@ -1,0 +1,267 @@
+"""Tagged values: the fields of tuples and the agent's stack/heap slots.
+
+Paper §2.2: "A tuple is an ordered set of fields where each field has a type
+and value.  Types may include integers, strings, locations, and sensor
+readings."  Templates additionally contain *wild cards that match by type*.
+
+Agilla's stack slots are 40-bit tagged values (Figure 6): one type byte plus
+up to four data bytes.  Strings are packed three 5-bit characters in two
+bytes, which is why agent names like ``fir`` are three letters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import TupleSpaceError
+from repro.location import Location
+from repro.net.codec import pack_i16, unpack_i16, unpack_location, pack_location
+
+
+class FieldType(IntEnum):
+    """Wire type codes for tagged values."""
+
+    VALUE = 0x01
+    AGENT_ID = 0x02
+    STRING = 0x03
+    TYPE = 0x04  # wildcard: matches any field of the named type
+    LOCATION = 0x05
+    READING = 0x06
+    RTYPE = 0x07  # wildcard: matches readings of one sensor type
+
+
+# ----------------------------------------------------------------------
+# Packed 3-character strings
+# ----------------------------------------------------------------------
+_STRING_ALPHABET = "\0abcdefghijklmnopqrstuvwxyz_-.!?"
+_CHAR_TO_CODE = {c: i for i, c in enumerate(_STRING_ALPHABET)}
+MAX_STRING_LENGTH = 3
+
+
+def pack_string(text: str) -> bytes:
+    """Pack up to three lowercase characters into two bytes (5 bits each)."""
+    if len(text) > MAX_STRING_LENGTH:
+        raise TupleSpaceError(f"string too long for a field: {text!r}")
+    codes = []
+    for char in text:
+        code = _CHAR_TO_CODE.get(char)
+        if code is None or code == 0:
+            raise TupleSpaceError(f"character {char!r} not in the packed alphabet")
+        codes.append(code)
+    while len(codes) < MAX_STRING_LENGTH:
+        codes.append(0)
+    packed = (codes[0] << 10) | (codes[1] << 5) | codes[2]
+    return bytes([packed & 0xFF, (packed >> 8) & 0xFF])
+
+
+def unpack_string(data: bytes, offset: int = 0) -> str:
+    """Inverse of :func:`pack_string`."""
+    packed = data[offset] | (data[offset + 1] << 8)
+    codes = [(packed >> 10) & 0x1F, (packed >> 5) & 0x1F, packed & 0x1F]
+    chars = []
+    for code in codes:
+        if code == 0:
+            break
+        chars.append(_STRING_ALPHABET[code])
+    return "".join(chars)
+
+
+# ----------------------------------------------------------------------
+# Field classes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Value:
+    """A signed 16-bit integer."""
+
+    value: int
+
+    ftype = FieldType.VALUE
+    wire_size = 3
+
+    def __post_init__(self) -> None:
+        if not (-32768 <= self.value <= 32767):
+            raise TupleSpaceError(f"value out of int16 range: {self.value}")
+
+    def encode(self) -> bytes:
+        return bytes([self.ftype]) + pack_i16(self.value)
+
+    def numeric(self) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class AgentIdField:
+    """An agent identifier (unsigned 16-bit)."""
+
+    agent_id: int
+
+    ftype = FieldType.AGENT_ID
+    wire_size = 3
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.agent_id <= 0xFFFF):
+            raise TupleSpaceError(f"agent id out of range: {self.agent_id}")
+
+    def encode(self) -> bytes:
+        return bytes([self.ftype, self.agent_id & 0xFF, (self.agent_id >> 8) & 0xFF])
+
+    def __str__(self) -> str:
+        return f"agent:{self.agent_id}"
+
+
+@dataclass(frozen=True)
+class StringField:
+    """A packed string of at most three characters."""
+
+    text: str
+
+    ftype = FieldType.STRING
+    wire_size = 3
+
+    def __post_init__(self) -> None:
+        pack_string(self.text)  # validates
+
+    def encode(self) -> bytes:
+        return bytes([self.ftype]) + pack_string(self.text)
+
+    def __str__(self) -> str:
+        return f"'{self.text}'"
+
+
+@dataclass(frozen=True)
+class LocationField:
+    """A node address (two signed 16-bit coordinates)."""
+
+    location: Location
+
+    ftype = FieldType.LOCATION
+    wire_size = 5
+
+    def encode(self) -> bytes:
+        return bytes([self.ftype]) + pack_location(self.location)
+
+    def __str__(self) -> str:
+        return str(self.location)
+
+
+@dataclass(frozen=True)
+class Reading:
+    """A sensor reading: the sensor type plus a 10-bit magnitude."""
+
+    sensor_type: int
+    value: int
+
+    ftype = FieldType.READING
+    wire_size = 4
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.sensor_type <= 255):
+            raise TupleSpaceError(f"sensor type out of range: {self.sensor_type}")
+        if not (-32768 <= self.value <= 32767):
+            raise TupleSpaceError(f"reading out of int16 range: {self.value}")
+
+    def encode(self) -> bytes:
+        return bytes([self.ftype, self.sensor_type]) + pack_i16(self.value)
+
+    def numeric(self) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        return f"reading({self.sensor_type}={self.value})"
+
+
+@dataclass(frozen=True)
+class TypeWildcard:
+    """Template wildcard: matches any field of the given type (``pusht``)."""
+
+    matches_type: FieldType
+
+    ftype = FieldType.TYPE
+    wire_size = 2
+
+    def encode(self) -> bytes:
+        return bytes([self.ftype, self.matches_type])
+
+    def __str__(self) -> str:
+        return f"?{FieldType(self.matches_type).name.lower()}"
+
+
+@dataclass(frozen=True)
+class ReadingWildcard:
+    """Template wildcard: matches readings from one sensor (``pushrt``)."""
+
+    sensor_type: int
+
+    ftype = FieldType.RTYPE
+    wire_size = 2
+
+    def encode(self) -> bytes:
+        return bytes([self.ftype, self.sensor_type])
+
+    def __str__(self) -> str:
+        return f"?reading({self.sensor_type})"
+
+
+Field = (
+    Value
+    | AgentIdField
+    | StringField
+    | LocationField
+    | Reading
+    | TypeWildcard
+    | ReadingWildcard
+)
+
+WILDCARD_TYPES = (FieldType.TYPE, FieldType.RTYPE)
+
+
+def is_wildcard(field: Field) -> bool:
+    return field.ftype in WILDCARD_TYPES
+
+
+def is_numeric(field: Field) -> bool:
+    return field.ftype in (FieldType.VALUE, FieldType.READING)
+
+
+def field_matches(template_field: Field, tuple_field: Field) -> bool:
+    """Template-field vs tuple-field match (paper §2.2).
+
+    Wildcards match by type; concrete fields match by type and value.
+    """
+    if isinstance(template_field, TypeWildcard):
+        return tuple_field.ftype == template_field.matches_type
+    if isinstance(template_field, ReadingWildcard):
+        return (
+            tuple_field.ftype == FieldType.READING
+            and tuple_field.sensor_type == template_field.sensor_type
+        )
+    return template_field == tuple_field
+
+
+def decode_field(data: bytes, offset: int = 0) -> tuple[Field, int]:
+    """Decode one field; returns (field, bytes consumed)."""
+    if offset >= len(data):
+        raise TupleSpaceError("truncated field")
+    type_code = data[offset]
+    try:
+        ftype = FieldType(type_code)
+    except ValueError:
+        raise TupleSpaceError(f"unknown field type code 0x{type_code:02x}") from None
+    body = offset + 1
+    if ftype == FieldType.VALUE:
+        return Value(unpack_i16(data, body)), 3
+    if ftype == FieldType.AGENT_ID:
+        return AgentIdField(data[body] | (data[body + 1] << 8)), 3
+    if ftype == FieldType.STRING:
+        return StringField(unpack_string(data, body)), 3
+    if ftype == FieldType.LOCATION:
+        return LocationField(unpack_location(data, body)), 5
+    if ftype == FieldType.READING:
+        return Reading(data[body], unpack_i16(data, body + 1)), 4
+    if ftype == FieldType.TYPE:
+        return TypeWildcard(FieldType(data[body])), 2
+    return ReadingWildcard(data[body]), 2

@@ -1,0 +1,219 @@
+"""The base-station console: the paper's laptop-side application (§3.1).
+
+"The laptop runs a Java application that allows a user to interact with the
+WSN by injecting agents and performing remote tuple space operations.  It
+also starts an RMI server that allows anyone on the Internet to remotely
+access the sensor network."
+
+:class:`BaseStationConsole` is that application's API, bound to the base
+station node at (0,0): inject agents anywhere, perform remote tuple-space
+operations against any node by location, and collect the tuples that agents
+rout back.  Remote operations are issued through short-lived *proxy agents*
+so they traverse exactly the same middleware path a mote-resident agent
+would — nothing is short-circuited.
+"""
+
+from __future__ import annotations
+
+from repro.agilla.agent import Agent, AgentState
+from repro.agilla.assembler import Program, assemble
+from repro.agilla.fields import (
+    Field,
+    LocationField,
+    Reading,
+    StringField,
+    Value,
+)
+from repro.agilla.tuples import AgillaTuple
+from repro.errors import AgillaError
+from repro.location import Location
+from repro.network import GridNetwork
+
+
+def _field_literal(field: Field) -> list[str]:
+    """Assembly lines that push one field constant."""
+    if isinstance(field, Value):
+        return [f"pushcl {field.value}"]
+    if isinstance(field, StringField):
+        return [f"pushn {field.text}"]
+    if isinstance(field, LocationField):
+        return [f"pushloc {field.location.x} {field.location.y}"]
+    if isinstance(field, Reading):
+        # No push-reading literal exists in the ISA; a reading constant can
+        # only originate from `sense`.  Match it with a wildcard instead.
+        raise AgillaError(
+            "reading constants cannot be pushed literally; use a wildcard"
+        )
+    from repro.agilla.fields import ReadingWildcard, TypeWildcard
+
+    if isinstance(field, TypeWildcard):
+        return [f"pusht {int(field.matches_type)}"]
+    if isinstance(field, ReadingWildcard):
+        return [f"pushrt {field.sensor_type}"]
+    raise AgillaError(f"cannot build a push literal for {field!r}")
+
+
+def tuple_literal(tup: AgillaTuple) -> list[str]:
+    """Assembly lines that place a tuple/template on the stack (§3.4)."""
+    lines: list[str] = []
+    for field in tup.fields:
+        lines.extend(_field_literal(field))
+    lines.append(f"pushc {tup.arity}")
+    return lines
+
+
+class RemoteOpResult:
+    """Handle for an in-flight console-issued remote operation."""
+
+    def __init__(self, net: GridNetwork, agent: Agent):
+        self._net = net
+        self._agent = agent
+
+    @property
+    def done(self) -> bool:
+        return self._agent.state == AgentState.DEAD
+
+    def wait(self, timeout_s: float = 10.0) -> bool:
+        """Run the network until the operation finishes."""
+        return self._net.run_until(lambda: self.done, timeout_s)
+
+    @property
+    def succeeded(self) -> bool:
+        """Condition code of the proxy agent (1 = remote op succeeded)."""
+        return self.done and self._agent.condition == 1
+
+    @property
+    def result(self) -> AgillaTuple | None:
+        """The tuple an rinp/rrdp brought home, if any."""
+        if not self.succeeded or not self._agent.stack:
+            return None
+        shell = Agent(0)
+        shell.stack = list(self._agent.stack)
+        try:
+            return shell.pop_tuple()
+        except AgillaError:
+            return None
+
+
+class BaseStationConsole:
+    """User-facing operations of the paper's base-station application."""
+
+    def __init__(self, net: GridNetwork):
+        self.net = net
+        self.station = net.base_station.middleware
+
+    # ------------------------------------------------------------------
+    # Agent injection (the primary way to program the network)
+    # ------------------------------------------------------------------
+    def inject(self, program: Program) -> Agent:
+        """Install an agent at the base station; it migrates from there."""
+        return self.station.inject(program)
+
+    def inject_at(self, program: Program, dest: Location | tuple[int, int]) -> Agent:
+        """Inject an agent that immediately strong-moves to ``dest``.
+
+        The console cannot write code directly onto a remote mote — exactly
+        like the real system, the agent must travel there itself.  Returns
+        the base-station-side agent object (it dies once the move commits).
+        """
+        if isinstance(dest, tuple):
+            dest = Location(*dest)
+        mover = assemble(
+            f"pushloc {dest.x} {dest.y}\nsmove\n",
+            name=program.name,
+        )
+        carried = Program(
+            name=program.name,
+            code=mover.code + program.code,
+            labels={k: v + mover.size for k, v in program.labels.items()},
+            source=mover.source + program.source,
+        )
+        return self.station.inject(carried)
+
+    # ------------------------------------------------------------------
+    # Remote tuple-space operations from the console
+    # ------------------------------------------------------------------
+    def _proxy(self, op: str, dest: Location, operand: AgillaTuple) -> RemoteOpResult:
+        lines = tuple_literal(operand)
+        lines.append(f"pushloc {dest.x} {dest.y}")
+        lines.append(op)
+        lines.append("wait")  # park (not halt) so the result stack survives
+        agent = self.station.inject(assemble("\n".join(lines), name=f"c{op[:2]}"))
+        # The proxy parks after the op; reap it once it has settled.
+        result = RemoteOpResult(self.net, agent)
+        result._agent = agent
+        self._arm_reaper(agent)
+        return RemoteOpResult(self.net, agent)
+
+    def _arm_reaper(self, agent: Agent) -> None:
+        def reap() -> None:
+            if agent.state == AgentState.WAIT_RXN:
+                self.station.agent_manager.kill(agent, "console op complete")
+            elif agent.state != AgentState.DEAD:
+                self.net.sim.schedule(100_000, reap)
+
+        self.net.sim.schedule(100_000, reap)
+
+    def remote_out(
+        self, dest: Location | tuple[int, int], tup: AgillaTuple
+    ) -> RemoteOpResult:
+        """rout a tuple into a node's tuple space from the console."""
+        if isinstance(dest, tuple):
+            dest = Location(*dest)
+        return self._proxy("rout", dest, tup)
+
+    def remote_take(
+        self, dest: Location | tuple[int, int], template: AgillaTuple
+    ) -> RemoteOpResult:
+        """rinp: remove and fetch a matching tuple from a remote node."""
+        if isinstance(dest, tuple):
+            dest = Location(*dest)
+        return self._proxy("rinp", dest, template)
+
+    def remote_read(
+        self, dest: Location | tuple[int, int], template: AgillaTuple
+    ) -> RemoteOpResult:
+        """rrdp: copy a matching tuple from a remote node."""
+        if isinstance(dest, tuple):
+            dest = Location(*dest)
+        return self._proxy("rrdp", dest, template)
+
+    # ------------------------------------------------------------------
+    # Collection (agents report back by routing tuples to (0,0))
+    # ------------------------------------------------------------------
+    def collected(self, tag: str | None = None) -> list[AgillaTuple]:
+        """Tuples sitting in the base station's tuple space.
+
+        ``tag`` filters on a leading string field (e.g. ``"alm"`` for the
+        fire tracker's alarms).
+        """
+        tuples = self.station.tuples()
+        if tag is None:
+            return tuples
+        return [
+            t
+            for t in tuples
+            if t.arity
+            and isinstance(t.fields[0], StringField)
+            and t.fields[0].text == tag
+        ]
+
+    def drain(self, tag: str) -> list[AgillaTuple]:
+        """Remove and return all collected tuples with a leading tag."""
+        from repro.agilla.fields import TypeWildcard
+
+        matches = self.collected(tag)
+        space = self.station.tuplespace_manager.space
+        for tup in matches:
+            space.inp(tup)
+        return matches
+
+    # ------------------------------------------------------------------
+    def survey(self) -> dict[Location, list[str]]:
+        """Agent census across the whole network (an operator's eye view)."""
+        census: dict[Location, list[str]] = {}
+        for node in self.net.all_nodes():
+            agents = [a.name for a in node.middleware.agents()]
+            if agents:
+                census[node.location] = sorted(agents)
+        return census

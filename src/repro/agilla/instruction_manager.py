@@ -1,0 +1,127 @@
+"""The instruction manager: dynamic code memory in 22-byte blocks.
+
+Paper §3.2: TinyOS has no dynamic allocation, so Agilla implements its own.
+"When an agent arrives, it specifies the amount of instruction memory it
+requires, and the instruction manager allocates the minimum number of 22 byte
+blocks necessary ... By default, the instruction manager is allocated 440
+bytes (20 blocks) ... an agent can have up to 440 instructions."
+
+Blocks are chained with forward pointers; fetching across a block boundary
+costs an extra pointer chase, which the engine charges to the instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AgentError, CodeMemoryError
+from repro.mote.memory import MemoryLedger
+
+DEFAULT_BLOCK_BYTES = 22
+DEFAULT_NUM_BLOCKS = 20
+
+
+@dataclass
+class _CodeImage:
+    blocks: list[int]
+    code: bytes
+
+
+class InstructionManager:
+    """Block-granular code storage for resident agents."""
+
+    def __init__(
+        self,
+        memory: MemoryLedger | None = None,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+        num_blocks: int = DEFAULT_NUM_BLOCKS,
+    ):
+        self.block_bytes = block_bytes
+        self.num_blocks = num_blocks
+        self._free: list[int] = list(range(num_blocks))
+        self._images: dict[int, _CodeImage] = {}
+        if memory is not None:
+            memory.allocate(
+                "InstructionManager", "code blocks", block_bytes * num_blocks
+            )
+            memory.allocate("InstructionManager", "block table", num_blocks)
+        # Statistics.
+        self.allocations = 0
+        self.allocation_failures = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.block_bytes * self.num_blocks
+
+    def blocks_needed(self, code_size: int) -> int:
+        """Minimum number of blocks for a program of ``code_size`` bytes."""
+        return max(1, -(-code_size // self.block_bytes))
+
+    def can_fit(self, code_size: int) -> bool:
+        return (
+            code_size <= self.capacity_bytes
+            and self.blocks_needed(code_size) <= self.free_blocks
+        )
+
+    # ------------------------------------------------------------------
+    def allocate(self, agent_id: int, code: bytes) -> None:
+        """Store an agent's code, claiming the minimum number of blocks."""
+        if agent_id in self._images:
+            raise CodeMemoryError(f"agent {agent_id} already holds code memory")
+        if not code:
+            raise CodeMemoryError("empty code image")
+        needed = self.blocks_needed(len(code))
+        if needed > len(self._free):
+            self.allocation_failures += 1
+            raise CodeMemoryError(
+                f"need {needed} code blocks for {len(code)} B, "
+                f"only {len(self._free)} free"
+            )
+        blocks = [self._free.pop(0) for _ in range(needed)]
+        self._images[agent_id] = _CodeImage(blocks, bytes(code))
+        self.allocations += 1
+
+    def free(self, agent_id: int) -> None:
+        """Release an agent's blocks (departure or death)."""
+        image = self._images.pop(agent_id, None)
+        if image is not None:
+            self._free.extend(image.blocks)
+            self._free.sort()
+
+    def holds(self, agent_id: int) -> bool:
+        return agent_id in self._images
+
+    # ------------------------------------------------------------------
+    def code_size(self, agent_id: int) -> int:
+        return len(self._image(agent_id).code)
+
+    def code_of(self, agent_id: int) -> bytes:
+        """The full code image (used when packaging a migration)."""
+        return self._image(agent_id).code
+
+    def read(self, agent_id: int, address: int, length: int) -> bytes:
+        """Fetch ``length`` bytes at ``address``; out-of-range is a trap."""
+        code = self._image(agent_id).code
+        if address < 0 or address + length > len(code):
+            raise AgentError(
+                f"agent {agent_id}: code fetch [{address}:{address + length}] "
+                f"outside image of {len(code)} B"
+            )
+        return code[address : address + length]
+
+    def crosses_block(self, agent_id: int, address: int, length: int) -> bool:
+        """True if the fetch spans a 22-byte block boundary (extra cost)."""
+        if length <= 0:
+            return False
+        return address // self.block_bytes != (address + length - 1) // self.block_bytes
+
+    def _image(self, agent_id: int) -> _CodeImage:
+        image = self._images.get(agent_id)
+        if image is None:
+            raise CodeMemoryError(f"agent {agent_id} holds no code memory")
+        return image

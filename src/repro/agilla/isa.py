@@ -1,0 +1,213 @@
+"""The Agilla instruction set architecture.
+
+Paper §3.4 divides the ISA into general-purpose, tuple-space, and migration
+instructions.  Figure 7 fixes several opcodes, which we preserve exactly:
+
+====== ======
+loc     0x01
+wait    0x0b
+smove   0x1a
+wclone  0x1d
+getnbr  0x20
+out     0x33
+inp     0x34
+rd      0x37
+rout    0x39
+rinp    0x3a
+regrxn  0x3e
+====== ======
+
+"With a few exceptions, an instruction is one byte (a few consume 3 bytes
+for pushing 16-bit variables onto the stack)" — operand encodings below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.agilla import params as P
+from repro.errors import AgillaError
+
+
+class Operand(Enum):
+    """Inline operand encodings (the opcode byte itself is always first)."""
+
+    NONE = "none"  # 1-byte instruction
+    U8 = "u8"  # 1 unsigned byte (pushc constant / label address)
+    I8_REL = "i8rel"  # 1 signed byte, PC-relative jump offset
+    I16 = "i16"  # 2 bytes little-endian signed (pushcl)
+    STRING = "string"  # 2 bytes packed 3-char string (pushn)
+    TYPE = "type"  # 1 byte field-type code (pusht)
+    RTYPE = "rtype"  # 1 byte sensor-type code (pushrt)
+    LOCATION = "loc"  # 4 bytes x,y int16 (pushloc)
+    VAR = "var"  # 1 byte heap slot index (getvar/setvar)
+
+
+OPERAND_BYTES = {
+    Operand.NONE: 0,
+    Operand.U8: 1,
+    Operand.I8_REL: 1,
+    Operand.I16: 2,
+    Operand.STRING: 2,
+    Operand.TYPE: 1,
+    Operand.RTYPE: 1,
+    Operand.LOCATION: 4,
+    Operand.VAR: 1,
+}
+
+
+class CostClass(Enum):
+    """Latency class of an instruction (Figure 12 calibration)."""
+
+    A = "A"  # ~75 us: push a value, read a register
+    B = "B"  # ~150 us: extra memory accesses / small computation
+    TS = "TS"  # tuple-space ops: base + arena work (computed at runtime)
+    MIGRATE = "MIGRATE"  # issue cost; the migration protocol dominates
+    REMOTE = "REMOTE"  # issue cost; the request/reply protocol dominates
+    SENSE = "SENSE"  # ADC conversion
+    SLEEP = "SLEEP"  # timer arm
+
+
+@dataclass(frozen=True)
+class InstructionDef:
+    """Static definition of one instruction."""
+
+    name: str
+    opcode: int
+    operand: Operand
+    cost_class: CostClass
+    doc: str
+
+    @property
+    def length(self) -> int:
+        """Encoded size in bytes."""
+        return 1 + OPERAND_BYTES[self.operand]
+
+    @property
+    def base_cycles(self) -> int:
+        """Issue-cost cycles before runtime-dependent work is added."""
+        if self.cost_class == CostClass.A:
+            return P.CLASS_A_CYCLES
+        if self.cost_class == CostClass.B:
+            return P.CLASS_B_CYCLES
+        if self.cost_class == CostClass.MIGRATE:
+            return P.MIGRATE_ISSUE_CYCLES
+        if self.cost_class == CostClass.REMOTE:
+            return P.REMOTE_ISSUE_CYCLES
+        if self.cost_class == CostClass.SENSE:
+            return P.SENSE_CYCLES
+        if self.cost_class == CostClass.SLEEP:
+            return P.CLASS_A_CYCLES
+        # TS ops: per-op base; arena work added by the engine.
+        return {
+            "out": P.TS_OUT_BASE_CYCLES,
+            "inp": P.TS_PROBE_BASE_CYCLES,
+            "rdp": P.TS_PROBE_BASE_CYCLES,
+            "in": P.TS_PROBE_BASE_CYCLES + P.TS_BLOCKING_EXTRA_CYCLES,
+            "rd": P.TS_PROBE_BASE_CYCLES + P.TS_BLOCKING_EXTRA_CYCLES,
+            "tcount": P.TS_COUNT_BASE_CYCLES,
+            "regrxn": P.CLASS_B_CYCLES + 160,
+            "deregrxn": P.CLASS_B_CYCLES + 160,
+        }[self.name]
+
+
+def _defs() -> list[InstructionDef]:
+    N, U8, REL = Operand.NONE, Operand.U8, Operand.I8_REL
+    A, B = CostClass.A, CostClass.B
+    return [
+        # --- general purpose: control and context -------------------------
+        InstructionDef("halt", 0x00, N, A, "Terminate the agent, freeing its resources"),
+        InstructionDef("loc", 0x01, N, A, "Push the host's location"),
+        InstructionDef("aid", 0x02, N, A, "Push this agent's id"),
+        InstructionDef("numnbrs", 0x03, N, A, "Push the number of one-hop neighbors"),
+        InstructionDef("randnbr", 0x04, N, B, "Push a random neighbor's location"),
+        InstructionDef("rand", 0x05, N, A, "Push a random 15-bit value"),
+        InstructionDef("cpush", 0x06, N, A, "Push the condition code"),
+        InstructionDef("depth", 0x07, N, A, "Push the operand-stack depth"),
+        InstructionDef("sleep", 0x08, N, CostClass.SLEEP, "Pop a tick count (1/8 s each) and sleep"),
+        InstructionDef("sense", 0x09, N, CostClass.SENSE, "Pop a sensor type, push a reading"),
+        InstructionDef("putled", 0x0A, N, A, "Pop an LED command and apply it"),
+        InstructionDef("wait", 0x0B, N, A, "Stop executing until a reaction fires"),
+        InstructionDef("nop", 0x0C, N, A, "Do nothing"),
+        # --- stack manipulation -------------------------------------------
+        InstructionDef("pop", 0x0D, N, A, "Discard the top of stack"),
+        InstructionDef("copy", 0x0E, N, A, "Duplicate the top of stack"),
+        InstructionDef("swap", 0x0F, N, A, "Exchange the top two stack entries"),
+        # --- arithmetic / logic (numeric operands) ------------------------
+        InstructionDef("add", 0x10, N, A, "Pop b, a; push a+b"),
+        InstructionDef("sub", 0x11, N, A, "Pop b, a; push a-b"),
+        InstructionDef("mul", 0x12, N, B, "Pop b, a; push a*b"),
+        InstructionDef("inc", 0x13, N, A, "Increment the numeric top of stack"),
+        InstructionDef("dec", 0x14, N, A, "Decrement the numeric top of stack"),
+        InstructionDef("and", 0x15, N, A, "Pop b, a; push a&b"),
+        InstructionDef("or", 0x16, N, A, "Pop b, a; push a|b"),
+        InstructionDef("xor", 0x17, N, A, "Pop b, a; push a^b"),
+        InstructionDef("not", 0x18, N, A, "Bitwise-complement the top of stack"),
+        # --- control flow ---------------------------------------------------
+        InstructionDef("jump", 0x19, N, A, "Pop an address value; set PC to it"),
+        # --- migration (§2.2): opcodes fixed by Figure 7 -------------------
+        InstructionDef("smove", 0x1A, N, CostClass.MIGRATE, "Strong move to a popped location"),
+        InstructionDef("wmove", 0x1B, N, CostClass.MIGRATE, "Weak move to a popped location"),
+        InstructionDef("sclone", 0x1C, N, CostClass.MIGRATE, "Strong clone to a popped location"),
+        InstructionDef("wclone", 0x1D, N, CostClass.MIGRATE, "Weak clone to a popped location"),
+        InstructionDef("rjump", 0x1E, REL, A, "Relative jump"),
+        InstructionDef("rjumpc", 0x1F, REL, A, "Relative jump if condition == 1"),
+        InstructionDef("getnbr", 0x20, N, B, "Pop an index; push that neighbor's location"),
+        # --- heap -----------------------------------------------------------
+        InstructionDef("getvar", 0x21, Operand.VAR, A, "Push heap variable n"),
+        InstructionDef("setvar", 0x22, Operand.VAR, A, "Pop into heap variable n"),
+        # --- comparisons (set the condition code) ---------------------------
+        InstructionDef("ceq", 0x23, N, A, "Pop b, a; condition = (b == a)"),
+        InstructionDef("cneq", 0x24, N, A, "Pop b, a; condition = (b != a)"),
+        InstructionDef("clt", 0x25, N, A, "Pop b, a; condition = (b < a)"),
+        InstructionDef("cgt", 0x26, N, A, "Pop b, a; condition = (b > a)"),
+        InstructionDef("clte", 0x27, N, A, "Pop b, a; condition = (b <= a)"),
+        InstructionDef("cgte", 0x28, N, A, "Pop b, a; condition = (b >= a)"),
+        # --- push family ------------------------------------------------------
+        InstructionDef("pushc", 0x2B, U8, A, "Push an unsigned byte constant"),
+        InstructionDef("pushcl", 0x2C, Operand.I16, B, "Push a 16-bit constant"),
+        InstructionDef("pushn", 0x2D, Operand.STRING, B, "Push a packed 3-char string"),
+        InstructionDef("pusht", 0x2E, Operand.TYPE, A, "Push a type wildcard"),
+        InstructionDef("pushrt", 0x2F, Operand.RTYPE, A, "Push a reading-type wildcard"),
+        InstructionDef("pushloc", 0x30, Operand.LOCATION, B, "Push a location constant"),
+        # --- tuple space (§3.4): opcodes fixed by Figure 7 ------------------
+        InstructionDef("out", 0x33, N, CostClass.TS, "Pop a tuple; insert into the local tuple space"),
+        InstructionDef("inp", 0x34, N, CostClass.TS, "Pop a template; probe-and-remove"),
+        InstructionDef("rdp", 0x35, N, CostClass.TS, "Pop a template; probe"),
+        InstructionDef("in", 0x36, N, CostClass.TS, "Pop a template; blocking remove"),
+        InstructionDef("rd", 0x37, N, CostClass.TS, "Pop a template; blocking read"),
+        InstructionDef("tcount", 0x38, N, CostClass.TS, "Pop a template; push the match count"),
+        InstructionDef("rout", 0x39, N, CostClass.REMOTE, "Pop location, tuple; remote insert"),
+        InstructionDef("rinp", 0x3A, N, CostClass.REMOTE, "Pop location, template; remote probe-remove"),
+        InstructionDef("rrdp", 0x3B, N, CostClass.REMOTE, "Pop location, template; remote probe"),
+        InstructionDef("regrxn", 0x3E, N, CostClass.TS, "Pop template, address; register a reaction"),
+        InstructionDef("deregrxn", 0x3F, N, CostClass.TS, "Pop template; deregister a reaction"),
+    ]
+
+
+INSTRUCTIONS: tuple[InstructionDef, ...] = tuple(_defs())
+
+BY_NAME: dict[str, InstructionDef] = {idef.name: idef for idef in INSTRUCTIONS}
+BY_OPCODE: dict[int, InstructionDef] = {idef.opcode: idef for idef in INSTRUCTIONS}
+
+if len(BY_OPCODE) != len(INSTRUCTIONS):  # pragma: no cover - static sanity
+    raise AgillaError("duplicate opcode in the ISA table")
+
+#: Figure 7's published opcodes, asserted by the ISA-table benchmark.
+PAPER_OPCODES = {
+    "loc": 0x01,
+    "wait": 0x0B,
+    "smove": 0x1A,
+    "wclone": 0x1D,
+    "getnbr": 0x20,
+    "out": 0x33,
+    "inp": 0x34,
+    "rd": 0x37,
+    "rout": 0x39,
+    "rinp": 0x3A,
+    "regrxn": 0x3E,
+}
+
+MIGRATION_INSTRUCTIONS = ("smove", "wmove", "sclone", "wclone")
+REMOTE_TS_INSTRUCTIONS = ("rout", "rinp", "rrdp")

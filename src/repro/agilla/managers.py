@@ -1,0 +1,240 @@
+"""Middleware managers: tuple space, agents, and context (paper Figure 4).
+
+* :class:`TupleSpaceManager` — owns the local tuple space, the reaction
+  registry, and the wait queue behind blocking ``in``/``rd``.
+* :class:`AgentManager` — tracks resident agents ("by default ... up to 4"),
+  allocates/frees their resources, and mints agent ids.
+* :class:`ContextManager` — location, neighbor list, and the pre-defined
+  context tuples ("If a node has a thermometer, Agilla would insert a
+  'temperature tuple' into its tuple space" §2.2; also the identities of
+  co-located agents).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.agilla import params as P
+from repro.agilla.agent import Agent, AgentState
+from repro.agilla.fields import AgentIdField, StringField
+from repro.agilla.reactions import Reaction, ReactionRegistry
+from repro.agilla.tuples import AgillaTuple, make_template, make_tuple
+from repro.agilla.tuplespace import TupleSpace
+from repro.agilla.vm_ops import ts_work_cycles
+from repro.errors import (
+    AgentLimitError,
+    ReactionRegistryFullError,
+    TupleSpaceFullError,
+)
+from repro.mote.sensors import SENSOR_TAGS
+
+#: Tuple tag marking a co-located agent: <'agt', agent-id>.
+AGENT_TAG = "agt"
+
+#: RAM bytes one agent context occupies: 16 stack slots x 5 B + 12 heap
+#: slots x 5 B + registers and scheduling state (Figure 6).
+AGENT_CONTEXT_BYTES = 148
+
+
+class TupleSpaceManager:
+    """Tuple space + reactions + blocked-agent wait queue for one node."""
+
+    def __init__(self, middleware: Any):
+        self.middleware = middleware
+        params = middleware.params
+        self.space = TupleSpace(params.ts_arena_bytes)
+        self.registry = ReactionRegistry(params.reaction_registry_bytes)
+        self._blocked: list[Agent] = []
+        memory = middleware.mote.memory
+        memory.allocate("TupleSpaceManager", "arena", params.ts_arena_bytes)
+        memory.allocate("TupleSpaceManager", "bookkeeping", 24)
+        memory.allocate("ReactionRegistry", "registry", params.reaction_registry_bytes)
+        # Statistics.
+        self.reactions_fired = 0
+
+    # ------------------------------------------------------------------
+    # Operations (each returns its result plus CPU cycles of arena work)
+    # ------------------------------------------------------------------
+    def insert(self, tup: AgillaTuple) -> tuple[bool, int]:
+        """``out``: insert, fire matching reactions, wake blocked agents.
+
+        Returns ``(inserted, extra_cycles)``; a full arena rejects the tuple
+        rather than evicting (the paper leaves richer policies as future
+        work).
+        """
+        try:
+            self.space.out(tup)
+        except TupleSpaceFullError:
+            return False, ts_work_cycles(self.space.last_work)
+        extra = ts_work_cycles(self.space.last_work)
+        extra += len(self.registry) * P.RXN_MATCH_CYCLES
+        engine = self.middleware.engine
+        agent_manager = self.middleware.agent_manager
+        for reaction in self.registry.matching(tup):
+            agent = agent_manager.get(reaction.agent_id)
+            if agent is not None:
+                self.reactions_fired += 1
+                engine.deliver_reaction(agent, reaction.handler_pc, tup)
+        # "the agents in this queue are notified and can re-check" (§3.4).
+        for agent in list(self._blocked):
+            self.unblock(agent)
+            engine.make_ready(agent)
+        return True, extra
+
+    def take(self, template: AgillaTuple) -> tuple[AgillaTuple | None, int]:
+        """``inp``: probe-and-remove."""
+        result = self.space.inp(template)
+        return result, ts_work_cycles(self.space.last_work)
+
+    def read(self, template: AgillaTuple) -> tuple[AgillaTuple | None, int]:
+        """``rdp``: probe."""
+        result = self.space.rdp(template)
+        return result, ts_work_cycles(self.space.last_work)
+
+    def count(self, template: AgillaTuple) -> tuple[int, int]:
+        """``tcount``."""
+        result = self.space.count(template)
+        return result, ts_work_cycles(self.space.last_work)
+
+    # ------------------------------------------------------------------
+    # Reactions
+    # ------------------------------------------------------------------
+    def register_reaction(self, reaction: Reaction) -> bool:
+        try:
+            self.registry.register(reaction)
+        except ReactionRegistryFullError:
+            return False
+        return True
+
+    def deregister_reaction(self, agent_id: int, template: AgillaTuple) -> bool:
+        return self.registry.deregister(agent_id, template)
+
+    # ------------------------------------------------------------------
+    # Blocking in/rd wait queue
+    # ------------------------------------------------------------------
+    def block(self, agent: Agent) -> None:
+        if agent not in self._blocked:
+            self._blocked.append(agent)
+
+    def unblock(self, agent: Agent) -> None:
+        if agent in self._blocked:
+            self._blocked.remove(agent)
+
+    @property
+    def blocked_agents(self) -> list[Agent]:
+        return list(self._blocked)
+
+    # ------------------------------------------------------------------
+    def remove_agent(self, agent: Agent) -> list[Reaction]:
+        """Strip an agent's registrations and wait-queue entries."""
+        self.unblock(agent)
+        return self.registry.remove_agent(agent.id)
+
+
+class AgentManager:
+    """Resident-agent table and life-cycle management."""
+
+    DEATH_LOG_LIMIT = 256
+
+    def __init__(self, middleware: Any):
+        self.middleware = middleware
+        self.max_agents = middleware.params.max_agents
+        self.agents: dict[int, Agent] = {}
+        self._id_counter = 0
+        middleware.mote.memory.allocate(
+            "AgentManager", "agent contexts", self.max_agents * AGENT_CONTEXT_BYTES
+        )
+        #: (agent id, name, reason, time) for every departed/dead agent.
+        self.death_log: list[tuple[int, str, str, int]] = []
+        # Statistics.
+        self.installed = 0
+
+    # ------------------------------------------------------------------
+    def mint_id(self) -> int:
+        """A node-unique agent id (node id in the high bits — §3.3: a cloned
+        agent is assigned a new ID)."""
+        self._id_counter += 1
+        minted = ((self.middleware.mote.id << 10) + self._id_counter) & 0xFFFF
+        return minted if minted != 0 else 1
+
+    def get(self, agent_id: int) -> Agent | None:
+        return self.agents.get(agent_id)
+
+    def resident(self) -> list[Agent]:
+        return sorted(self.agents.values(), key=lambda a: a.id)
+
+    def can_accept(self, code_size: int) -> bool:
+        """Room for one more agent with this much code?"""
+        if len(self.agents) >= self.max_agents:
+            return False
+        return self.middleware.instruction_manager.can_fit(code_size)
+
+    # ------------------------------------------------------------------
+    def install(self, agent: Agent, code: bytes, make_ready: bool = True) -> None:
+        """Admit an agent: allocate code memory, advertise it, schedule it."""
+        if len(self.agents) >= self.max_agents:
+            raise AgentLimitError(
+                f"mote {self.middleware.mote.id}: already hosting "
+                f"{self.max_agents} agents"
+            )
+        self.middleware.instruction_manager.allocate(agent.id, code)
+        self.agents[agent.id] = agent
+        self.installed += 1
+        self.middleware.context_manager.agent_added(agent)
+        if make_ready:
+            self.middleware.engine.make_ready(agent)
+
+    def kill(self, agent: Agent, reason: str) -> None:
+        """Remove an agent and free everything it held (§2.2: "When an agent
+        completes its task it dies, allowing Agilla to free its resources")."""
+        if agent.state == AgentState.DEAD:
+            return
+        agent.state = AgentState.DEAD
+        agent.death_reason = reason
+        self.middleware.engine.remove(agent)
+        self.middleware.tuplespace_manager.remove_agent(agent)
+        self.middleware.remote_ops.cancel_agent(agent)
+        if self.middleware.instruction_manager.holds(agent.id):
+            self.middleware.instruction_manager.free(agent.id)
+        self.agents.pop(agent.id, None)
+        self.middleware.context_manager.agent_removed(agent)
+        if len(self.death_log) < self.DEATH_LOG_LIMIT:
+            self.death_log.append(
+                (agent.id, agent.name, reason, self.middleware.mote.sim.now)
+            )
+
+
+class ContextManager:
+    """Location, neighbors, and pre-defined context tuples (§2.2, §3.2)."""
+
+    def __init__(self, middleware: Any):
+        self.middleware = middleware
+
+    @property
+    def location(self):
+        return self.middleware.mote.location
+
+    @property
+    def acquaintances(self):
+        return self.middleware.acquaintances
+
+    # ------------------------------------------------------------------
+    def boot(self) -> None:
+        """Insert the sensor-availability context tuples at start-up."""
+        for sensor_type in self.middleware.mote.sensors.types():
+            tag = SENSOR_TAGS.get(sensor_type)
+            if tag is not None:
+                self.middleware.tuplespace_manager.insert(
+                    make_tuple(StringField(tag))
+                )
+
+    # ------------------------------------------------------------------
+    def agent_added(self, agent: Agent) -> None:
+        """Advertise a co-located agent: <'agt', id> (§2.2 context info)."""
+        self.middleware.tuplespace_manager.insert(
+            make_tuple(StringField(AGENT_TAG), AgentIdField(agent.id))
+        )
+
+    def agent_removed(self, agent: Agent) -> None:
+        template = make_template(StringField(AGENT_TAG), AgentIdField(agent.id))
+        self.middleware.tuplespace_manager.space.remove_all(template)

@@ -1,0 +1,87 @@
+"""Reactions: templates that vector an agent's PC when a match is inserted.
+
+Paper §2.2/§3.2: an agent registers (template, handler address) pairs with
+``regrxn``; whenever a tuple matching the template is inserted into the local
+tuple space, the agent's program counter is redirected to the handler.  The
+registry has a 400-byte budget (about 10 reactions), reactions are strictly
+local, and they travel with the agent on migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReactionRegistryFullError
+from repro.agilla.tuples import AgillaTuple
+
+DEFAULT_REGISTRY_BYTES = 400
+
+#: Registry entry overhead besides the template: agent id (2) + handler
+#: address (2) + flags (1).
+ENTRY_OVERHEAD = 5
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """One registered reaction."""
+
+    agent_id: int
+    template: AgillaTuple
+    handler_pc: int
+
+    @property
+    def registry_bytes(self) -> int:
+        return ENTRY_OVERHEAD + self.template.wire_size
+
+
+class ReactionRegistry:
+    """The per-node reaction table with a byte budget."""
+
+    def __init__(self, capacity: int = DEFAULT_REGISTRY_BYTES):
+        self.capacity = capacity
+        self._reactions: list[Reaction] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(reaction.registry_bytes for reaction in self._reactions)
+
+    def __len__(self) -> int:
+        return len(self._reactions)
+
+    # ------------------------------------------------------------------
+    def register(self, reaction: Reaction) -> None:
+        """Add a reaction; duplicate (agent, template, pc) entries are no-ops."""
+        if reaction in self._reactions:
+            return
+        if self.used_bytes + reaction.registry_bytes > self.capacity:
+            raise ReactionRegistryFullError(
+                f"registry full: need {reaction.registry_bytes} B, "
+                f"have {self.capacity - self.used_bytes} B"
+            )
+        self._reactions.append(reaction)
+
+    def deregister(self, agent_id: int, template: AgillaTuple) -> bool:
+        """Remove this agent's reaction on ``template``; True if found."""
+        for index, reaction in enumerate(self._reactions):
+            if reaction.agent_id == agent_id and reaction.template == template:
+                del self._reactions[index]
+                return True
+        return False
+
+    def remove_agent(self, agent_id: int) -> list[Reaction]:
+        """Remove and return all of an agent's reactions (departure/death)."""
+        removed = [r for r in self._reactions if r.agent_id == agent_id]
+        self._reactions = [r for r in self._reactions if r.agent_id != agent_id]
+        return removed
+
+    def for_agent(self, agent_id: int) -> list[Reaction]:
+        """This agent's registrations, in registration order."""
+        return [r for r in self._reactions if r.agent_id == agent_id]
+
+    def matching(self, tup: AgillaTuple) -> list[Reaction]:
+        """All reactions whose template matches the inserted tuple."""
+        return [r for r in self._reactions if r.template.matches(tup)]
+
+    def reactions(self) -> list[Reaction]:
+        return list(self._reactions)

@@ -1,0 +1,233 @@
+"""Remote tuple-space operations: rout, rinp, rrdp (paper §2.2, §3.2).
+
+"To perform a remote tuple space operation, a request containing the
+instruction and template is sent to the destination node.  When the
+destination receives it, it performs the operation on its local tuple space
+and sends back the result.  Unlike agent migration operations, we used
+end-to-end communication ... and do not use acknowledgements. ... the
+initiator timeouts after 2 seconds and re-transmits the request at most
+twice."
+
+Requests and replies ride on geographically routed unicast.  Only probing
+variants exist remotely, "to prevent an agent from blocking forever due to
+message loss".  A lost ``rinp`` reply can remove a tuple that the initiator
+never sees — the paper accepts this; an optional idempotence cache
+(:attr:`RemoteTSOpManager.dedup_enabled`, an extension, off by default)
+replays the original answer for retransmitted requests instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.agilla.agent import Agent, AgentState
+from repro.agilla.tuples import AgillaTuple
+from repro.errors import AgentError, NetworkError
+from repro.location import Location
+from repro.net import am
+from repro.net.codec import pack_u16, unpack_u16
+from repro.net.georouting import GEO_MAX_PAYLOAD
+from repro.sim.kernel import EventHandle
+
+OP_CODES = {"rout": 0, "rinp": 1, "rrdp": 2}
+OP_NAMES = {code: name for name, code in OP_CODES.items()}
+
+#: CPU cycles to build/send a request after the instruction issues.
+ISSUE_CYCLES = 1200
+
+
+@dataclass
+class PendingOp:
+    request_id: int
+    agent: Agent
+    op: str
+    dest: Location
+    payload: bytes
+    attempts: int = 0
+    timer: EventHandle | None = None
+    issued_at: int = 0
+
+
+class RemoteTSOpManager:
+    """Initiator and responder for remote tuple-space operations."""
+
+    def __init__(self, middleware: Any):
+        self.middleware = middleware
+        self.params = middleware.params
+        middleware.geo.register_kind(am.GEO_REMOTE_TS_REQUEST, self._on_request)
+        middleware.geo.register_kind(am.GEO_REMOTE_TS_REPLY, self._on_reply)
+        self._pending: dict[int, PendingOp] = {}
+        self._next_request_id = 0
+        #: Extension (off by default): remember answered request ids so a
+        #: retransmitted rinp cannot remove a second tuple.
+        self.dedup_enabled = False
+        self._answered: dict[tuple[int, int, int], bytes] = {}
+        middleware.mote.memory.allocate("RemoteTSOpManager", "request table", 64)
+        #: (event, agent id, time): issued / reply / timeout / served.
+        self.events: list[tuple[str, int, int]] = []
+        # Statistics.
+        self.issued = 0
+        self.replies = 0
+        self.timeouts = 0
+        self.retransmits = 0
+        self.served = 0
+        self.dedup_hits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def sim(self):
+        return self.middleware.mote.sim
+
+    def _log(self, event: str, agent_id: int) -> None:
+        if len(self.events) < 100_000:
+            self.events.append((event, agent_id, self.sim.now))
+
+    # ==================================================================
+    # Initiator side
+    # ==================================================================
+    def issue(self, agent: Agent, op: str, dest: Location, payload: AgillaTuple) -> None:
+        """Called synchronously by the rout/rinp/rrdp handlers."""
+        if op not in OP_CODES:
+            raise AgentError(f"unknown remote operation {op!r}")
+        self._next_request_id = (self._next_request_id + 1) & 0xFFFF
+        request_id = self._next_request_id
+        body = pack_u16(request_id) + bytes([OP_CODES[op]]) + payload.encode()
+        if len(body) > GEO_MAX_PAYLOAD:
+            raise AgentError(
+                f"agent {agent.id}: {op} payload of {len(body)} B exceeds the "
+                f"{GEO_MAX_PAYLOAD} B remote-operation limit"
+            )
+        pending = PendingOp(
+            request_id=request_id,
+            agent=agent,
+            op=op,
+            dest=dest,
+            payload=body,
+            issued_at=self.sim.now,
+        )
+        self._pending[request_id] = pending
+        self.issued += 1
+        self._log("issued", agent.id)
+        # Defer the transmission so the engine parks the agent first.
+        self.middleware.mote.tasks.post(ISSUE_CYCLES, self._transmit, pending)
+
+    def _transmit(self, pending: PendingOp) -> None:
+        if pending.request_id not in self._pending:
+            return  # cancelled (agent died)
+        if pending.agent.state != AgentState.REMOTE_WAIT:
+            del self._pending[pending.request_id]
+            return
+        pending.attempts += 1
+        self.middleware.geo.send(
+            pending.dest, am.GEO_REMOTE_TS_REQUEST, pending.payload
+        )
+        if pending.timer is not None:
+            pending.timer.cancel()
+        pending.timer = self.sim.schedule(
+            self.params.remote_timeout, self._timeout, pending
+        )
+
+    def _timeout(self, pending: PendingOp) -> None:
+        pending.timer = None
+        if pending.request_id not in self._pending:
+            return
+        if pending.attempts <= self.params.remote_retransmits:
+            self.retransmits += 1
+            self._transmit(pending)
+            return
+        del self._pending[pending.request_id]
+        self.timeouts += 1
+        self._log("timeout", pending.agent.id)
+        self._complete(pending.agent, success=False, result=None, op=pending.op)
+
+    def cancel_agent(self, agent: Agent) -> None:
+        """Drop any outstanding request an agent holds (it died)."""
+        stale = [
+            request_id
+            for request_id, pending in self._pending.items()
+            if pending.agent is agent
+        ]
+        for request_id in stale:
+            pending = self._pending.pop(request_id)
+            if pending.timer is not None:
+                pending.timer.cancel()
+
+    # ==================================================================
+    # Responder side
+    # ==================================================================
+    def _on_request(self, origin: Location, payload: bytes) -> None:
+        if len(payload) < 4:
+            return
+        request_id = unpack_u16(payload, 0)
+        op_code = payload[2]
+        op = OP_NAMES.get(op_code)
+        if op is None:
+            return
+        origin_key = (origin.x, origin.y, request_id)
+        if self.dedup_enabled and origin_key in self._answered:
+            self.dedup_hits += 1
+            self.middleware.geo.send(
+                origin, am.GEO_REMOTE_TS_REPLY, self._answered[origin_key]
+            )
+            return
+        try:
+            operand, _ = AgillaTuple.decode(payload, 3)
+        except Exception:
+            return
+        manager = self.middleware.tuplespace_manager
+        self.served += 1
+        result: AgillaTuple | None = None
+        if op == "rout":
+            inserted, _ = manager.insert(operand)
+            status = 1 if inserted else 0
+        elif op == "rinp":
+            result, _ = manager.take(operand)
+            status = 1 if result is not None else 0
+        else:  # rrdp
+            result, _ = manager.read(operand)
+            status = 1 if result is not None else 0
+        reply = pack_u16(request_id) + bytes([op_code, status])
+        if result is not None:
+            reply += result.encode()
+        if self.dedup_enabled:
+            self._answered[origin_key] = reply
+        self.middleware.geo.send(origin, am.GEO_REMOTE_TS_REPLY, reply)
+
+    # ==================================================================
+    # Reply handling
+    # ==================================================================
+    def _on_reply(self, origin: Location, payload: bytes) -> None:
+        if len(payload) < 4:
+            return
+        request_id = unpack_u16(payload, 0)
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            return  # late duplicate
+        if pending.timer is not None:
+            pending.timer.cancel()
+        status = payload[3]
+        result: AgillaTuple | None = None
+        if status == 1 and len(payload) > 4:
+            try:
+                result, _ = AgillaTuple.decode(payload, 4)
+            except NetworkError:
+                result = None
+        self.replies += 1
+        self._log("reply", pending.agent.id)
+        self._complete(pending.agent, success=status == 1, result=result, op=pending.op)
+
+    def _complete(
+        self, agent: Agent, success: bool, result: AgillaTuple | None, op: str
+    ) -> None:
+        """Deliver the outcome to the issuing agent (§3.4 semantics)."""
+        if agent.state != AgentState.REMOTE_WAIT:
+            return  # died or was otherwise released meanwhile
+        if op in ("rinp", "rrdp") and success and result is not None:
+            try:
+                agent.push_tuple(result)
+            except AgentError as exc:
+                self.middleware.engine._trap(agent, exc)
+                return
+        agent.condition = 1 if success else 0
+        self.middleware.engine.make_ready(agent)

@@ -1,0 +1,119 @@
+"""Execution tracing: watch agents run, instruction by instruction.
+
+The paper's development story (§3.1) is about taming an invisible platform;
+a reproduction should do better.  :class:`Tracer` hooks one middleware's
+engine and records every executed instruction with its cycle cost and the
+agent's register state, supporting filtered views and a disassembly-style
+rendering for debugging agent programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agilla.agent import Agent
+from repro.agilla.isa import InstructionDef
+from repro.agilla.middleware import AgillaMiddleware
+from repro.sim.units import to_ms
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed instruction."""
+
+    time: int
+    agent_id: int
+    agent_name: str
+    pc: int
+    instruction: str
+    cycles: int
+    condition: int
+    stack_depth: int
+
+    def render(self) -> str:
+        return (
+            f"{to_ms(self.time):10.3f}ms  {self.agent_name}({self.agent_id})"
+            f"  pc={self.pc:<4d} {self.instruction:<10s}"
+            f" cond={self.condition} depth={self.stack_depth}"
+            f" [{self.cycles}cy]"
+        )
+
+
+class Tracer:
+    """Record the instruction stream of one node's engine."""
+
+    def __init__(self, middleware: AgillaMiddleware, limit: int = 100_000):
+        self.middleware = middleware
+        self.limit = limit
+        self.entries: list[TraceEntry] = []
+        self.dropped = 0
+        self._previous_hook = None
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    def attach(self) -> "Tracer":
+        """Start recording (chains with any existing instrumentation)."""
+        if self._attached:
+            return self
+        self._previous_hook = self.middleware.engine.on_instruction
+        self.middleware.engine.on_instruction = self._record
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.middleware.engine.on_instruction = self._previous_hook
+            self._attached = False
+
+    def __enter__(self) -> "Tracer":
+        return self.attach()
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    def _record(self, agent: Agent, idef: InstructionDef, cycles: int) -> None:
+        if self._previous_hook is not None:
+            self._previous_hook(agent, idef, cycles)
+        if len(self.entries) >= self.limit:
+            self.dropped += 1
+            return
+        # The engine already advanced the PC; report the instruction's own.
+        self.entries.append(
+            TraceEntry(
+                time=self.middleware.mote.sim.now,
+                agent_id=agent.id,
+                agent_name=agent.name,
+                pc=agent.pc - idef.length,
+                instruction=idef.name,
+                cycles=cycles,
+                condition=agent.condition,
+                stack_depth=agent.stack_depth,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def for_agent(self, agent_id: int) -> list[TraceEntry]:
+        return [entry for entry in self.entries if entry.agent_id == agent_id]
+
+    def instruction_histogram(self) -> dict[str, int]:
+        """How often each instruction executed (hot-spot analysis)."""
+        histogram: dict[str, int] = {}
+        for entry in self.entries:
+            histogram[entry.instruction] = histogram.get(entry.instruction, 0) + 1
+        return dict(sorted(histogram.items(), key=lambda item: -item[1]))
+
+    def cycles_by_agent(self) -> dict[int, int]:
+        """Total CPU cycles each agent consumed on this node."""
+        totals: dict[int, int] = {}
+        for entry in self.entries:
+            totals[entry.agent_id] = totals.get(entry.agent_id, 0) + entry.cycles
+        return totals
+
+    def render(self, last: int | None = None) -> str:
+        """Human-readable trace (optionally only the last N entries)."""
+        entries = self.entries if last is None else self.entries[-last:]
+        return "\n".join(entry.render() for entry in entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

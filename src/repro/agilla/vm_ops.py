@@ -1,0 +1,552 @@
+"""Instruction handlers.
+
+Each handler receives an :class:`~repro.agilla.execution.ExecContext`, mutates
+the agent/middleware state, and returns ``(Outcome, extra_cycles)``.  The
+engine has already advanced the PC past the instruction, so jump handlers
+simply overwrite ``agent.pc``; blocking handlers rely on the engine restoring
+``pc_before`` for the retry.
+
+Runtime faults (stack underflow, bad types, arena overflows that the paper's
+semantics treat as programmer error) raise :class:`~repro.errors.AgentError`
+subclasses, which the engine converts into an agent trap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.agilla import params as P
+from repro.agilla.execution import ExecContext, HandlerResult, Outcome
+from repro.agilla.fields import (
+    AgentIdField,
+    FieldType,
+    LocationField,
+    Reading,
+    ReadingWildcard,
+    StringField,
+    TypeWildcard,
+    Value,
+    is_numeric,
+)
+from repro.agilla.fields import unpack_string
+from repro.agilla.reactions import Reaction
+from repro.agilla.tuples import AgillaTuple
+from repro.errors import AgentError
+from repro.net.codec import unpack_i16, unpack_location
+
+HANDLERS: dict[str, Callable[[ExecContext], HandlerResult]] = {}
+
+CONTINUE: HandlerResult = (Outcome.CONTINUE, 0)
+
+#: Largest serialized template that can travel in a reaction message
+#: (27-byte payload minus the 5-byte reaction-message header).
+MAX_MIGRATABLE_TEMPLATE_BYTES = 21
+
+
+def _op(name: str):
+    def register(fn):
+        HANDLERS[name] = fn
+        return fn
+
+    return register
+
+
+def _wrap16(value: int) -> int:
+    """Signed 16-bit wraparound, as the ATmega's ALU would produce."""
+    return ((value + 0x8000) & 0xFFFF) - 0x8000
+
+
+# ----------------------------------------------------------------------
+# General purpose: context and control
+# ----------------------------------------------------------------------
+@_op("halt")
+def op_halt(ctx: ExecContext) -> HandlerResult:
+    return (Outcome.HALT, 0)
+
+
+@_op("nop")
+def op_nop(ctx: ExecContext) -> HandlerResult:
+    return CONTINUE
+
+
+@_op("loc")
+def op_loc(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(LocationField(ctx.mote.location))
+    return CONTINUE
+
+
+@_op("aid")
+def op_aid(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(AgentIdField(ctx.agent.id))
+    return CONTINUE
+
+
+@_op("numnbrs")
+def op_numnbrs(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(Value(ctx.middleware.acquaintances.count()))
+    return CONTINUE
+
+
+@_op("randnbr")
+def op_randnbr(ctx: ExecContext) -> HandlerResult:
+    neighbor = ctx.middleware.acquaintances.random(ctx.rng)
+    if neighbor is None:
+        ctx.agent.push(LocationField(ctx.mote.location))
+        ctx.agent.condition = 0
+    else:
+        ctx.agent.push(LocationField(neighbor.location))
+        ctx.agent.condition = 1
+    return CONTINUE
+
+
+@_op("getnbr")
+def op_getnbr(ctx: ExecContext) -> HandlerResult:
+    index = ctx.agent.pop_numeric()
+    neighbor = ctx.middleware.acquaintances.get(index)
+    if neighbor is None:
+        ctx.agent.push(LocationField(ctx.mote.location))
+        ctx.agent.condition = 0
+    else:
+        ctx.agent.push(LocationField(neighbor.location))
+        ctx.agent.condition = 1
+    return CONTINUE
+
+
+@_op("rand")
+def op_rand(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(Value(ctx.rng.randrange(0, 32768)))
+    return CONTINUE
+
+
+@_op("cpush")
+def op_cpush(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(Value(ctx.agent.condition))
+    return CONTINUE
+
+
+@_op("depth")
+def op_depth(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(Value(ctx.agent.stack_depth))
+    return CONTINUE
+
+
+@_op("sleep")
+def op_sleep(ctx: ExecContext) -> HandlerResult:
+    ticks = ctx.agent.pop_numeric()
+    if ticks < 0:
+        raise AgentError(f"agent {ctx.agent.id}: negative sleep {ticks}")
+    duration = ticks * ctx.params.sleep_tick
+    ctx.middleware.engine.arm_sleep(ctx.agent, duration)
+    return (Outcome.SLEEP, 0)
+
+
+@_op("sense")
+def op_sense(ctx: ExecContext) -> HandlerResult:
+    sensor_type = ctx.agent.pop_numeric()
+    if not (0 <= sensor_type <= 255):
+        raise AgentError(f"agent {ctx.agent.id}: bad sensor type {sensor_type}")
+    reading = ctx.mote.sense(sensor_type)
+    ctx.agent.push(Reading(sensor_type, reading))
+    # "if an agent executes a long-running instruction like sleep, sense, or
+    # wait, the engine immediately switches context" (§3.2).
+    return (Outcome.YIELD, 0)
+
+
+@_op("putled")
+def op_putled(ctx: ExecContext) -> HandlerResult:
+    command = ctx.agent.pop_numeric()
+    ctx.mote.leds.execute(command & 0xFF, ctx.mote.sim.now)
+    return CONTINUE
+
+
+@_op("wait")
+def op_wait(ctx: ExecContext) -> HandlerResult:
+    return (Outcome.WAIT, 0)
+
+
+# ----------------------------------------------------------------------
+# Stack manipulation
+# ----------------------------------------------------------------------
+@_op("pop")
+def op_pop(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.pop()
+    return CONTINUE
+
+
+@_op("copy")
+def op_copy(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(ctx.agent.peek())
+    return CONTINUE
+
+
+@_op("swap")
+def op_swap(ctx: ExecContext) -> HandlerResult:
+    top = ctx.agent.pop()
+    below = ctx.agent.pop()
+    ctx.agent.push(top)
+    ctx.agent.push(below)
+    return CONTINUE
+
+
+# ----------------------------------------------------------------------
+# Arithmetic / logic
+# ----------------------------------------------------------------------
+def _binary(ctx: ExecContext, combine) -> HandlerResult:
+    top = ctx.agent.pop_numeric()
+    below = ctx.agent.pop_numeric()
+    ctx.agent.push(Value(_wrap16(combine(below, top))))
+    return CONTINUE
+
+
+@_op("add")
+def op_add(ctx: ExecContext) -> HandlerResult:
+    return _binary(ctx, lambda a, b: a + b)
+
+
+@_op("sub")
+def op_sub(ctx: ExecContext) -> HandlerResult:
+    return _binary(ctx, lambda a, b: a - b)
+
+
+@_op("mul")
+def op_mul(ctx: ExecContext) -> HandlerResult:
+    return _binary(ctx, lambda a, b: a * b)
+
+
+@_op("and")
+def op_and(ctx: ExecContext) -> HandlerResult:
+    return _binary(ctx, lambda a, b: a & b)
+
+
+@_op("or")
+def op_or(ctx: ExecContext) -> HandlerResult:
+    return _binary(ctx, lambda a, b: a | b)
+
+
+@_op("xor")
+def op_xor(ctx: ExecContext) -> HandlerResult:
+    return _binary(ctx, lambda a, b: a ^ b)
+
+
+@_op("not")
+def op_not(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(Value(_wrap16(~ctx.agent.pop_numeric())))
+    return CONTINUE
+
+
+@_op("inc")
+def op_inc(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(Value(_wrap16(ctx.agent.pop_numeric() + 1)))
+    return CONTINUE
+
+
+@_op("dec")
+def op_dec(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(Value(_wrap16(ctx.agent.pop_numeric() - 1)))
+    return CONTINUE
+
+
+# ----------------------------------------------------------------------
+# Control flow
+# ----------------------------------------------------------------------
+@_op("jump")
+def op_jump(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.pc = ctx.agent.pop_numeric()
+    return CONTINUE
+
+
+@_op("rjump")
+def op_rjump(ctx: ExecContext) -> HandlerResult:
+    offset = ctx.operand[0] if ctx.operand[0] < 128 else ctx.operand[0] - 256
+    ctx.agent.pc = ctx.pc_before + offset
+    return CONTINUE
+
+
+@_op("rjumpc")
+def op_rjumpc(ctx: ExecContext) -> HandlerResult:
+    if ctx.agent.condition == 1:
+        offset = ctx.operand[0] if ctx.operand[0] < 128 else ctx.operand[0] - 256
+        ctx.agent.pc = ctx.pc_before + offset
+    return CONTINUE
+
+
+# ----------------------------------------------------------------------
+# Heap
+# ----------------------------------------------------------------------
+@_op("getvar")
+def op_getvar(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(ctx.agent.heap_get(ctx.operand[0]))
+    return CONTINUE
+
+
+@_op("setvar")
+def op_setvar(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.heap_set(ctx.operand[0], ctx.agent.pop())
+    return CONTINUE
+
+
+# ----------------------------------------------------------------------
+# Comparisons (condition-code setters)
+# ----------------------------------------------------------------------
+def _compare(ctx: ExecContext, predicate) -> HandlerResult:
+    top = ctx.agent.pop()
+    below = ctx.agent.pop()
+    if not (is_numeric(top) and is_numeric(below)):
+        raise AgentError(
+            f"agent {ctx.agent.id}: ordered comparison of non-numeric "
+            f"{top} / {below}"
+        )
+    ctx.agent.condition = 1 if predicate(top.numeric(), below.numeric()) else 0
+    return CONTINUE
+
+
+@_op("ceq")
+def op_ceq(ctx: ExecContext) -> HandlerResult:
+    top = ctx.agent.pop()
+    below = ctx.agent.pop()
+    if is_numeric(top) and is_numeric(below):
+        equal = top.numeric() == below.numeric()
+    else:
+        equal = top == below
+    ctx.agent.condition = 1 if equal else 0
+    return CONTINUE
+
+
+@_op("cneq")
+def op_cneq(ctx: ExecContext) -> HandlerResult:
+    op_ceq(ctx)
+    ctx.agent.condition = 1 - ctx.agent.condition
+    return CONTINUE
+
+
+@_op("clt")
+def op_clt(ctx: ExecContext) -> HandlerResult:
+    # Figure 13 line 4: stack holds (reading, 200); `clt` sets the condition
+    # when 200 (top) < reading (below), i.e. "temperature > 200".
+    return _compare(ctx, lambda top, below: top < below)
+
+
+@_op("cgt")
+def op_cgt(ctx: ExecContext) -> HandlerResult:
+    return _compare(ctx, lambda top, below: top > below)
+
+
+@_op("clte")
+def op_clte(ctx: ExecContext) -> HandlerResult:
+    return _compare(ctx, lambda top, below: top <= below)
+
+
+@_op("cgte")
+def op_cgte(ctx: ExecContext) -> HandlerResult:
+    return _compare(ctx, lambda top, below: top >= below)
+
+
+# ----------------------------------------------------------------------
+# Push family
+# ----------------------------------------------------------------------
+@_op("pushc")
+def op_pushc(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(Value(ctx.operand[0]))
+    return CONTINUE
+
+
+@_op("pushcl")
+def op_pushcl(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(Value(unpack_i16(ctx.operand)))
+    return CONTINUE
+
+
+@_op("pushn")
+def op_pushn(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(StringField(unpack_string(ctx.operand)))
+    return CONTINUE
+
+
+@_op("pusht")
+def op_pusht(ctx: ExecContext) -> HandlerResult:
+    try:
+        ftype = FieldType(ctx.operand[0])
+    except ValueError:
+        raise AgentError(
+            f"agent {ctx.agent.id}: bad field type code {ctx.operand[0]}"
+        ) from None
+    ctx.agent.push(TypeWildcard(ftype))
+    return CONTINUE
+
+
+@_op("pushrt")
+def op_pushrt(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(ReadingWildcard(ctx.operand[0]))
+    return CONTINUE
+
+
+@_op("pushloc")
+def op_pushloc(ctx: ExecContext) -> HandlerResult:
+    ctx.agent.push(LocationField(unpack_location(ctx.operand)))
+    return CONTINUE
+
+
+# ----------------------------------------------------------------------
+# Tuple space
+# ----------------------------------------------------------------------
+@_op("out")
+def op_out(ctx: ExecContext) -> HandlerResult:
+    tup = ctx.agent.pop_tuple()
+    if tup.is_template:
+        raise AgentError(f"agent {ctx.agent.id}: out of a template {tup}")
+    inserted, extra = ctx.middleware.tuplespace_manager.insert(tup)
+    ctx.agent.condition = 1 if inserted else 0
+    return (Outcome.CONTINUE, extra)
+
+
+@_op("inp")
+def op_inp(ctx: ExecContext) -> HandlerResult:
+    template = ctx.agent.pop_tuple()
+    result, extra = ctx.middleware.tuplespace_manager.take(template)
+    if result is None:
+        ctx.agent.condition = 0
+    else:
+        ctx.agent.push_tuple(result)
+        ctx.agent.condition = 1
+    return (Outcome.CONTINUE, extra)
+
+
+@_op("rdp")
+def op_rdp(ctx: ExecContext) -> HandlerResult:
+    template = ctx.agent.pop_tuple()
+    result, extra = ctx.middleware.tuplespace_manager.read(template)
+    if result is None:
+        ctx.agent.condition = 0
+    else:
+        ctx.agent.push_tuple(result)
+        ctx.agent.condition = 1
+    return (Outcome.CONTINUE, extra)
+
+
+def _blocking(ctx: ExecContext, remove: bool) -> HandlerResult:
+    """Blocking in/rd: probe; on a miss leave the stack intact and park.
+
+    "The blocking in and rd operations are implemented by having the agent
+    repeatedly trying to inp or rdp a tuple.  If the probe fails, the agent's
+    context is stored in a wait queue until a tuple is inserted" (§3.4).
+    The engine restores the PC so the re-check re-runs this instruction.
+    """
+    template = ctx.agent.pop_tuple()
+    manager = ctx.middleware.tuplespace_manager
+    result, extra = manager.take(template) if remove else manager.read(template)
+    if result is None:
+        # Restore the template: the retry must find the stack as it was.
+        ctx.agent.push_tuple(template)
+        return (Outcome.BLOCKED_TS, extra)
+    ctx.agent.push_tuple(result)
+    ctx.agent.condition = 1
+    return (Outcome.CONTINUE, extra)
+
+
+@_op("in")
+def op_in(ctx: ExecContext) -> HandlerResult:
+    return _blocking(ctx, remove=True)
+
+
+@_op("rd")
+def op_rd(ctx: ExecContext) -> HandlerResult:
+    return _blocking(ctx, remove=False)
+
+
+@_op("tcount")
+def op_tcount(ctx: ExecContext) -> HandlerResult:
+    template = ctx.agent.pop_tuple()
+    count, extra = ctx.middleware.tuplespace_manager.count(template)
+    ctx.agent.push(Value(count))
+    return (Outcome.CONTINUE, extra)
+
+
+@_op("regrxn")
+def op_regrxn(ctx: ExecContext) -> HandlerResult:
+    handler_pc = ctx.agent.pop_numeric()
+    template = ctx.agent.pop_tuple()
+    if template.wire_size > MAX_MIGRATABLE_TEMPLATE_BYTES:
+        raise AgentError(
+            f"agent {ctx.agent.id}: reaction template of {template.wire_size} B "
+            "cannot travel in one migration message"
+        )
+    registered = ctx.middleware.tuplespace_manager.register_reaction(
+        Reaction(ctx.agent.id, template, handler_pc)
+    )
+    ctx.agent.condition = 1 if registered else 0
+    return (Outcome.CONTINUE, len(template.fields) * 40)
+
+
+@_op("deregrxn")
+def op_deregrxn(ctx: ExecContext) -> HandlerResult:
+    template = ctx.agent.pop_tuple()
+    removed = ctx.middleware.tuplespace_manager.deregister_reaction(
+        ctx.agent.id, template
+    )
+    ctx.agent.condition = 1 if removed else 0
+    return (Outcome.CONTINUE, len(template.fields) * 40)
+
+
+# ----------------------------------------------------------------------
+# Remote tuple space (issue side; the protocol manager completes them)
+# ----------------------------------------------------------------------
+def _remote(ctx: ExecContext, op_name: str) -> HandlerResult:
+    dest = ctx.agent.pop_typed(LocationField, "a location")
+    payload = ctx.agent.pop_tuple()
+    if op_name == "rout" and payload.is_template:
+        raise AgentError(f"agent {ctx.agent.id}: rout of a template {payload}")
+    ctx.middleware.remote_ops.issue(ctx.agent, op_name, dest.location, payload)
+    return (Outcome.REMOTE_WAIT, 0)
+
+
+@_op("rout")
+def op_rout(ctx: ExecContext) -> HandlerResult:
+    return _remote(ctx, "rout")
+
+
+@_op("rinp")
+def op_rinp(ctx: ExecContext) -> HandlerResult:
+    return _remote(ctx, "rinp")
+
+
+@_op("rrdp")
+def op_rrdp(ctx: ExecContext) -> HandlerResult:
+    return _remote(ctx, "rrdp")
+
+
+# ----------------------------------------------------------------------
+# Migration (issue side; the agent sender/receiver do the work)
+# ----------------------------------------------------------------------
+def _migrate(ctx: ExecContext, kind: str) -> HandlerResult:
+    dest = ctx.agent.pop_typed(LocationField, "a location")
+    ctx.middleware.migration.initiate(ctx.agent, kind, dest.location)
+    return (Outcome.MIGRATING, 0)
+
+
+@_op("smove")
+def op_smove(ctx: ExecContext) -> HandlerResult:
+    return _migrate(ctx, "smove")
+
+
+@_op("wmove")
+def op_wmove(ctx: ExecContext) -> HandlerResult:
+    return _migrate(ctx, "wmove")
+
+
+@_op("sclone")
+def op_sclone(ctx: ExecContext) -> HandlerResult:
+    return _migrate(ctx, "sclone")
+
+
+@_op("wclone")
+def op_wclone(ctx: ExecContext) -> HandlerResult:
+    return _migrate(ctx, "wclone")
+
+
+def ts_work_cycles(work) -> int:
+    """Convert arena memory traffic into CPU cycles (Figure 12 model)."""
+    return (
+        work.bytes_scanned * P.TS_SCAN_CYCLES_PER_BYTE
+        + work.bytes_shifted * P.TS_SHIFT_CYCLES_PER_BYTE
+        + work.bytes_written * P.TS_WRITE_CYCLES_PER_BYTE
+    )

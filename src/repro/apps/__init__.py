@@ -1,0 +1,26 @@
+"""Agent programs: the paper's listings plus the case-study applications."""
+
+from repro.apps.fire import (
+    FIREDETECTOR_FIGURE13,
+    firedetector,
+    firetracker,
+)
+from repro.apps.habitat import habitat_monitor
+from repro.apps.regions import Region, any_in_region, clone_region
+from repro.apps.testers import blink_agent, rout_agent, smove_agent
+from repro.apps.tracker import chaser, sampler
+
+__all__ = [
+    "FIREDETECTOR_FIGURE13",
+    "firedetector",
+    "firetracker",
+    "habitat_monitor",
+    "Region",
+    "any_in_region",
+    "clone_region",
+    "blink_agent",
+    "rout_agent",
+    "smove_agent",
+    "chaser",
+    "sampler",
+]

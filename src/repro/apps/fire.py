@@ -1,0 +1,201 @@
+"""The fire-detection case study (paper §5, Figures 2 and 13).
+
+Two species:
+
+* **FIREDETECTOR** — lightweight, spread across the whole network during
+  idle periods; samples the thermometer periodically and, on fire, routs a
+  ``<'fir', location>`` alert tuple to the FIRETRACKER's host, then dies.
+* **FIRETRACKER** — heavyweight; waits for the alert reaction, strong-clones
+  to the detected fire location (Figure 2 lines 7-8), and from there spreads
+  weak clones to neighbors, forming a dynamic perimeter that re-checks its
+  own temperature every two seconds and keeps growing with the fire.
+
+The paper omits the detector's bootstrapping (cloning) code; we implement it
+with the documented instructions: a ``<'fdt'>`` claim tuple deduplicates
+detectors per node, then the agent weak-clones itself to every neighbor.
+"""
+
+from __future__ import annotations
+
+from repro.agilla.assembler import Program, assemble
+
+#: Figure 13 verbatim (bootstrapping code omitted there, and here).
+FIREDETECTOR_FIGURE13 = """
+    BEGIN pushc TEMPERATURE
+    sense               // measure the temperature
+    pushcl 200          // push 200 onto stack
+    clt                 // set condition=1 if temperature > 200
+    rjumpc FIRE         // jump to FIRE if condition=1
+    pushcl 80
+    sleep               // sleep for 10 seconds
+    rjump BEGIN
+    FIRE pushn fir      // push string "fir"
+    loc                 // push current location
+    pushc 2             // stack has fire alert tuple
+    pushloc 0 0
+    rout                // rout fire alert tuple on node at (0,0)
+    halt
+"""
+
+
+def firedetector(
+    tracker_x: int = 0,
+    tracker_y: int = 0,
+    threshold: int = 200,
+    period_ticks: int = 80,
+    spread: bool = True,
+) -> Program:
+    """The FIREDETECTOR agent with bootstrapping code.
+
+    ``spread=False`` yields the paper's Figure 13 behaviour only (no
+    cloning) — used when injecting one detector per node by hand.
+    """
+    bootstrap = """
+        // ---- bootstrap: claim this node, then clone to every neighbor ----
+        pushn fdt
+        pushc 1
+        rdp                 // detector already here?
+        cpush
+        pushc 1
+        ceq
+        rjumpc DIE
+        pushn fdt
+        pushc 1
+        out                 // claim
+        pushc 0
+        setvar 0            // i = 0
+        SPREAD numnbrs
+        getvar 0
+        clt                 // condition = (i < numnbrs)
+        cpush
+        pushc 0
+        ceq
+        rjumpc DETECT
+        getvar 0
+        getnbr
+        wclone              // weak clone: the child restarts at BEGIN
+        getvar 0
+        inc
+        setvar 0
+        rjump SPREAD
+    """ if spread else """
+        rjump DETECT
+    """
+    # In spread mode each cycle also re-clones to one random neighbor: a
+    # gossip repair that heals nodes missed by the initial flood (their
+    # claim check kills redundant arrivals immediately).
+    gossip = """
+        randnbr
+        wclone
+    """ if spread else ""
+    body = f"""
+        {bootstrap}
+        // ---- Figure 13: the detection loop ----
+        DETECT pushc TEMPERATURE
+        sense               // measure the temperature
+        pushcl {threshold}
+        clt                 // condition = 1 if temperature > threshold
+        rjumpc FIRE
+        {gossip}
+        pushcl {period_ticks}
+        sleep
+        pushc DETECT
+        jump
+        FIRE pushn fir      // fire alert tuple <'fir', location>
+        loc
+        pushc 2
+        pushloc {tracker_x} {tracker_y}
+        rout                // notify the fire tracker's host
+        halt
+        DIE halt
+    """
+    return assemble(body, name="fdt")
+
+
+def firetracker(threshold: int = 200, recheck_ticks: int = 16) -> Program:
+    """The FIRETRACKER agent (Figure 2 plus the perimeter-forming code).
+
+    Restart-safe: weak clones re-enter at BEGIN and deduplicate via a
+    ``<'ftk'>`` claim tuple, so the perimeter grows one tracker per node.
+    """
+    source = f"""
+        // ---- claim this node (one tracker per node) ----
+        BEGIN pushn ftk
+        pushc 1
+        rdp
+        cpush
+        pushc 1
+        ceq
+        rjumpc DIE
+        pushn ftk
+        pushc 1
+        out
+        // ---- main loop: hot here? ----
+        CHECK pushc TEMPERATURE
+        sense
+        pushcl {threshold}
+        clt
+        rjumpc BURN
+        // cool: arm the fire-alert reaction and nap (Figure 2 lines 1-6)
+        pushn fir
+        pusht LOCATION
+        pushc 2
+        pushc ALERT
+        regrxn              // register fire alert reaction
+        pushc {recheck_ticks}
+        sleep               // re-check period (reaction can interrupt)
+        pushc CHECK
+        jump
+        // ---- reaction handler (Figure 2 lines 7-8) ----
+        ALERT pop           // pop the arity of the alert tuple
+        copy
+        setvar 4            // remember the alert location
+        sclone              // strong clone to the node that detected the fire
+        pop                 // drop 'fir'
+        pop                 // drop the saved pc
+        loc
+        getvar 4
+        ceq                 // did this copy arrive at the alert location?
+        rjumpc ARRIVED
+        pushc CHECK
+        jump                // the parent re-arms at its own host
+        ARRIVED pushn ftk
+        pushc 1
+        rdp
+        cpush
+        pushc 1
+        ceq
+        rjumpc DIE          // a tracker already guards the fire node
+        pushn ftk
+        pushc 1
+        out                 // take up residence at the fire node
+        pushc CHECK
+        jump
+        // ---- burning: alarm the base station and spread ----
+        BURN pushn alm
+        loc
+        pushc 2
+        pushloc 0 0
+        rout                // alarm tuple <'alm', location> to (0,0)
+        pushc 0
+        setvar 0
+        SPREAD numnbrs
+        getvar 0
+        clt
+        cpush
+        pushc 0
+        ceq
+        rjumpc DONE
+        getvar 0
+        getnbr
+        wclone              // perimeter: weak clone onto each neighbor
+        getvar 0
+        inc
+        setvar 0
+        rjump SPREAD
+        DONE pushc LED_RED_ON
+        putled              // mark a burning node
+        wait
+        DIE halt
+    """
+    return assemble(source, name="ftk")

@@ -1,0 +1,56 @@
+"""Habitat-monitoring agent (paper §2.1/§2.2).
+
+The motivating example's "state-of-the-art habitat monitoring agents":
+periodically samples the light sensor and publishes the freshest reading as
+a ``<'hab', reading>`` tuple in the local tuple space, where a base station
+sweep (or another agent) can collect it with ``rinp``/``rrdp``.
+
+Per the §2.2 narrative, the agent also registers a reaction on fire alerts
+and voluntarily kills itself when one fires, freeing resources for the
+tracking application — the paper's showcase of decoupled multi-application
+coordination.
+"""
+
+from __future__ import annotations
+
+from repro.agilla.assembler import Program, assemble
+
+
+def habitat_monitor(period_ticks: int = 24, die_on_fire: bool = True) -> Program:
+    """Build the habitat-monitor agent."""
+    fire_reaction = """
+        pushn fir
+        pusht LOCATION
+        pushc 2
+        pushc DIE
+        regrxn              // fire detected nearby? free our resources
+    """ if die_on_fire else ""
+    source = f"""
+        {fire_reaction}
+        // drop the previous sample, if any
+        LOOP pushn hab
+        pushrt LIGHT
+        pushc 2
+        inp
+        cpush
+        pushc 1
+        ceq
+        rjumpc CLEAN
+        // publish a fresh sample <'hab', light-reading>
+        FRESH pushn hab
+        pushc LIGHT
+        sense
+        pushc 2
+        out
+        pushc {period_ticks}
+        sleep
+        pushc LOOP
+        jump
+        CLEAN pop           // arity
+        pop                 // old reading
+        pop                 // 'hab'
+        pushc FRESH
+        jump
+        DIE halt
+    """
+    return assemble(source, name="hab")

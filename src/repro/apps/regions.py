@@ -1,0 +1,168 @@
+"""Region operations (paper §2.2).
+
+"By using location as addresses, Agilla primitives can be easily generalized
+to enable operations on a region.  For example, a fire detection node can
+clone itself on all nodes in a geographic area, or alternatively it can
+clone itself to at least one node in the region."
+
+The ISA itself stays point-to-point; regions are a *programming pattern*
+built from the documented instructions.  These helpers generate the
+assembly: given a rectangle, they emit a bootstrap that claims the local
+node, then clones the payload onto every region node (``clone_region``) or
+migrates until any one region node hosts the agent (``any_in_region``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agilla.assembler import Program, assemble
+from repro.errors import AgillaError
+from repro.location import Location
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned rectangle of grid nodes, corners inclusive."""
+
+    x_min: int
+    y_min: int
+    x_max: int
+    y_max: int
+
+    def __post_init__(self) -> None:
+        if self.x_min > self.x_max or self.y_min > self.y_max:
+            raise AgillaError(f"degenerate region {self}")
+
+    def locations(self) -> list[Location]:
+        return [
+            Location(x, y)
+            for y in range(self.y_min, self.y_max + 1)
+            for x in range(self.x_min, self.x_max + 1)
+        ]
+
+    def __contains__(self, location: Location) -> bool:
+        return (
+            self.x_min <= location.x <= self.x_max
+            and self.y_min <= location.y <= self.y_max
+        )
+
+    @property
+    def size(self) -> int:
+        return (self.x_max - self.x_min + 1) * (self.y_max - self.y_min + 1)
+
+
+def clone_region(region: Region, payload: str, claim_tag: str = "rgn") -> Program:
+    """An agent that installs ``payload`` on **every** node of a region.
+
+    Pattern: strong-move to the region's corner, then weak-clone along a
+    row-major serpentine — each copy claims its node with a ``claim_tag``
+    tuple (so repeats die) and clones one step onward before running the
+    payload.  Works with at most 2 open clones in flight per node and
+    survives individual clone failures because the payload re-clones to its
+    successor each time it is restarted weakly.
+    """
+    first = Location(region.x_min, region.y_min)
+    order = _serpentine(region)
+    # Heap layout: slot 0 = serpentine successor, slot 1 = has-successor flag.
+    lines = ["// region-clone bootstrap (paper §2.2 generalization)", "START nop"]
+    # Membership test: match my location against each region node, deriving
+    # its serpentine successor — verbose, but pure documented ISA.
+    for index, location in enumerate(order):
+        label = f"N{index}"
+        lines.extend(
+            [
+                "loc",
+                f"pushloc {location.x} {location.y}",
+                "ceq",
+                "cpush",
+                "pushc 0",
+                "ceq",
+                f"rjumpc {label}",
+            ]
+        )
+        if index + 1 < len(order):
+            successor = order[index + 1]
+            lines.extend(
+                [
+                    f"pushloc {successor.x} {successor.y}",
+                    "setvar 0",
+                    "pushc 1",
+                    "setvar 1       // this node has a successor",
+                ]
+            )
+        else:
+            lines.extend(["pushc 0", "setvar 1       // last node of the chain"])
+        lines.extend(["pushcl CLAIM", "jump", f"{label} nop"])
+    # Not a region node: only the originally injected copy gets here.
+    lines.extend(
+        [
+            f"pushloc {first.x} {first.y}",
+            "smove            // enter the region at its corner",
+            "pushcl START",
+            "jump             // re-derive membership where we landed",
+        ]
+    )
+    # Claim-or-die, then extend the chain and run the payload.
+    lines.extend(
+        [
+            "CLAIM pushn " + claim_tag,
+            "pushc 1",
+            "rdp",
+            "cpush",
+            "pushc 0",
+            "ceq",
+            "rjumpc FRESH     // not yet covered: claim and continue",
+            "pushcl GONE",
+            "jump             // this node is already covered",
+            "FRESH pushn " + claim_tag,
+            "pushc 1",
+            "out",
+            "getvar 1",
+            "pushc 0",
+            "ceq",
+            "rjumpc RUN       // chain ends here",
+            "getvar 0",
+            "wclone           // extend the region coverage",
+            "RUN nop",
+        ]
+    )
+    lines.append(payload.strip())
+    lines.append("GONE halt")
+    return assemble("\n".join(lines), name="rgn")
+
+
+def _serpentine(region: Region) -> list[Location]:
+    """Row-major serpentine through the region (adjacent steps only)."""
+    path = []
+    for row, y in enumerate(range(region.y_min, region.y_max + 1)):
+        xs = range(region.x_min, region.x_max + 1)
+        if row % 2:
+            xs = reversed(xs)
+        path.extend(Location(x, y) for x in xs)
+    return path
+
+
+def any_in_region(region: Region, payload: str) -> Program:
+    """An agent that runs ``payload`` on **at least one** node of the region.
+
+    It strong-moves toward the region center; wherever it lands (greedy
+    routing is best-effort), if it is inside the region it runs the payload,
+    otherwise it retries toward a corner before giving up and running where
+    it stands — "at least one node in the region" semantics under loss.
+    """
+    cx = (region.x_min + region.x_max) // 2
+    cy = (region.y_min + region.y_max) // 2
+    lines = [
+        f"pushloc {cx} {cy}",
+        "smove            // head for the region center",
+        "loc",
+        f"pushloc {cx} {cy}",
+        "ceq",
+        "rjumpc RUN",
+        f"pushloc {region.x_min} {region.y_min}",
+        "smove            // second try: the corner",
+        "RUN nop",
+        payload.strip(),
+    ]
+    return assemble("\n".join(lines), name="any")

@@ -1,0 +1,48 @@
+"""The Figure 8 benchmark agents, parameterized by destination.
+
+"To test the reliability, the agents shown in Figure 8 are injected into
+node (0,0).  The smove agent moves to a remote node and back while the rout
+agent places a tuple in a remote node's tuple space."
+"""
+
+from __future__ import annotations
+
+from repro.agilla.assembler import Program, assemble
+
+
+def smove_agent(dest_x: int, dest_y: int, home_x: int = 0, home_y: int = 0) -> Program:
+    """The smove test agent: out to (dest) and back to (home), then halt."""
+    source = f"""
+        // The smove agent (Figure 8, top)
+        pushloc {dest_x} {dest_y}
+        smove               // strong move to mote at ({dest_x},{dest_y})
+        pushloc {home_x} {home_y}
+        smove               // strong move back to mote at ({home_x},{home_y})
+        halt
+    """
+    return assemble(source, name="smv")
+
+
+def rout_agent(dest_x: int, dest_y: int) -> Program:
+    """The rout test agent: place tuple <value:1> on a remote node."""
+    source = f"""
+        // The rout agent (Figure 8, bottom)
+        pushc 1
+        pushc 1             // tuple <value:1> on stack
+        pushloc {dest_x} {dest_y}
+        rout                // do rout on mote ({dest_x},{dest_y})
+        halt
+    """
+    return assemble(source, name="rot")
+
+
+def blink_agent(led_constant: str = "LED_GREEN_TOGGLE", period_ticks: int = 8) -> Program:
+    """A hello-world agent: toggle an LED forever (quickstart demo)."""
+    source = f"""
+        BEGIN pushc {led_constant}
+        putled
+        pushc {period_ticks}
+        sleep
+        rjump BEGIN
+    """
+    return assemble(source, name="blk")

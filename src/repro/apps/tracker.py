@@ -1,0 +1,148 @@
+"""Intruder tracking: an agent that *follows* a moving target (paper §1).
+
+"instead of worrying about how nodes must coordinate to track an intruder, a
+mobile agent programmer can think of an agent following the intruder by
+repeatedly migrating to the node that best detects it."
+
+Two cooperating species:
+
+* **sampler** — one per node; periodically publishes its magnetometer
+  reading as ``<'mag', reading>`` in the local tuple space.
+* **chaser** — one mobile agent; compares its own reading against the
+  published readings of its neighbors (via ``rrdp``) and strong-moves to
+  whichever node hears the target loudest, over and over.
+"""
+
+from __future__ import annotations
+
+from repro.agilla.assembler import Program, assemble
+
+
+def sampler(period_ticks: int = 4, spread: bool = True) -> Program:
+    """Publish <'mag', reading> on this node every ``period_ticks``/8 s."""
+    bootstrap = """
+        pushn smp
+        pushc 1
+        rdp
+        cpush
+        pushc 1
+        ceq
+        rjumpc DIE
+        pushn smp
+        pushc 1
+        out
+        pushc 0
+        setvar 0
+        SPREAD numnbrs
+        getvar 0
+        clt
+        cpush
+        pushc 0
+        ceq
+        rjumpc LOOP
+        getvar 0
+        getnbr
+        wclone
+        getvar 0
+        inc
+        setvar 0
+        rjump SPREAD
+    """ if spread else ""
+    source = f"""
+        {bootstrap}
+        LOOP pushn mag
+        pushrt MAGNETOMETER
+        pushc 2
+        inp                 // retire the previous sample
+        cpush
+        pushc 1
+        ceq
+        rjumpc CLEAN
+        FRESH pushn mag
+        pushc MAGNETOMETER
+        sense
+        pushc 2
+        out
+        pushc {period_ticks}
+        sleep
+        pushc LOOP
+        jump
+        CLEAN pop
+        pop
+        pop
+        pushc FRESH
+        jump
+        DIE halt
+    """
+    return assemble(source, name="smp")
+
+
+def chaser(rest_ticks: int = 4) -> Program:
+    """Follow the strongest magnetometer signal, hop by hop.
+
+    Heap layout: 0 = neighbor index, 1 = best reading so far,
+    2 = best location so far, 3 = neighbor location under consideration.
+    """
+    source = f"""
+        INIT pushc LED_YELLOW_ON
+        putled                  // visible trail of the chase
+        pushc 0
+        setvar 0                // i = 0
+        loc
+        setvar 2                // best location = here
+        pushc MAGNETOMETER
+        sense
+        setvar 1                // best reading = our own reading
+        LOOP numnbrs
+        getvar 0
+        clt                     // condition = (i < numnbrs)
+        cpush
+        pushc 0
+        ceq
+        rjumpc DECIDE
+        getvar 0
+        getnbr
+        setvar 3                // neighbor location
+        pushn mag
+        pushrt MAGNETOMETER
+        pushc 2
+        getvar 3
+        rrdp                    // ask the neighbor's sampler tuple
+        cpush
+        pushc 0
+        ceq
+        rjumpc NEXT             // no sample there
+        pop                     // arity
+        copy                    // duplicate the reading
+        getvar 1
+        clt                     // condition = (best < reading)
+        cpush
+        pushc 0
+        ceq
+        rjumpc WORSE
+        setvar 1                // new best reading
+        pop                     // drop 'mag'
+        getvar 3
+        setvar 2                // new best location
+        rjump NEXT
+        WORSE pop               // reading
+        pop                     // 'mag'
+        NEXT getvar 0
+        inc
+        setvar 0
+        pushc LOOP
+        jump
+        DECIDE getvar 2
+        loc
+        ceq                     // already on the best node?
+        rjumpc STAY
+        getvar 2
+        smove                   // chase the target
+        pushc INIT
+        jump
+        STAY pushc {rest_ticks}
+        sleep
+        pushc INIT
+        jump
+    """
+    return assemble(source, name="chs")

@@ -1,0 +1,1 @@
+"""Baseline systems the paper compares against (Mate, §1/§5)."""

@@ -1,0 +1,22 @@
+"""Mate-like baseline: capsule VM with viral code flooding."""
+
+from repro.baselines.mate.isa import (
+    CAPSULE_CODE_BYTES,
+    Capsule,
+    MATE_CONSTANTS,
+    mate_assemble,
+)
+from repro.baselines.mate.middleware import CLOCK_CAPSULE, MateMiddleware
+from repro.baselines.mate.network import MateNetwork
+from repro.baselines.mate.vm import MateVm
+
+__all__ = [
+    "CAPSULE_CODE_BYTES",
+    "Capsule",
+    "MATE_CONSTANTS",
+    "mate_assemble",
+    "CLOCK_CAPSULE",
+    "MateMiddleware",
+    "MateNetwork",
+    "MateVm",
+]

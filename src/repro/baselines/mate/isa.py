@@ -1,0 +1,162 @@
+"""A Mate-like capsule ISA (Levis & Culler, ASPLOS'02), the paper's baseline.
+
+Mate divides applications into *capsules* of at most 24 one-byte
+instructions, interpreted by a tiny stack VM.  Code moves by *flooding*: the
+``forw`` instruction virally rebroadcasts the running capsule, and every node
+keeps only the newest version of each capsule.  This module defines the
+instruction subset and a two-pass assembler for it; the VM and the viral
+distribution live in sibling modules.
+
+Capsules here carry up to 23 bytes of code so a capsule plus its header fits
+one 27-byte TinyOS payload (real Mate splits larger capsules; ours don't need
+to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BaselineError
+
+#: Maximum code bytes per capsule (fits one TinyOS payload with the header).
+CAPSULE_CODE_BYTES = 23
+
+# Opcodes (operand-less unless noted).
+OP_HALT = 0x00
+OP_PUSHC = 0x01  # + 1 operand byte
+OP_ADD = 0x02
+OP_SUB = 0x03
+OP_AND = 0x04
+OP_OR = 0x05
+OP_INC = 0x06
+OP_COPY = 0x07
+OP_POP = 0x08
+OP_SWAP = 0x09
+OP_SENSE = 0x0A
+OP_PUTLED = 0x0B
+OP_SEND = 0x0C
+OP_FORW = 0x0D
+OP_NOP = 0x0E
+OP_BLEZ = 0x0F  # + 1 operand byte (absolute address); pops, branches if <= 0
+OP_GETVAR = 0x10  # + 1 operand byte (shared variable slot)
+OP_SETVAR = 0x11  # + 1 operand byte
+
+MNEMONICS = {
+    "halt": OP_HALT,
+    "pushc": OP_PUSHC,
+    "add": OP_ADD,
+    "sub": OP_SUB,
+    "and": OP_AND,
+    "or": OP_OR,
+    "inc": OP_INC,
+    "copy": OP_COPY,
+    "pop": OP_POP,
+    "swap": OP_SWAP,
+    "sense": OP_SENSE,
+    "putled": OP_PUTLED,
+    "send": OP_SEND,
+    "forw": OP_FORW,
+    "nop": OP_NOP,
+    "blez": OP_BLEZ,
+    "getvar": OP_GETVAR,
+    "setvar": OP_SETVAR,
+}
+
+WITH_OPERAND = {OP_PUSHC, OP_BLEZ, OP_GETVAR, OP_SETVAR}
+
+#: Named constants usable as pushc operands (sensor types, LED commands).
+MATE_CONSTANTS = {
+    "TEMPERATURE": 1,
+    "LIGHT": 2,
+    "MAGNETOMETER": 3,
+    "SOUND": 4,
+    "LED_RED_ON": (1 << 3) | 0b001,
+    "LED_GREEN_ON": (1 << 3) | 0b010,
+    "LED_RED_TOGGLE": (3 << 3) | 0b001,
+    "LED_GREEN_TOGGLE": (3 << 3) | 0b010,
+}
+
+
+@dataclass(frozen=True)
+class Capsule:
+    """One versioned code capsule."""
+
+    capsule_id: int
+    version: int
+    code: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.code) > CAPSULE_CODE_BYTES:
+            raise BaselineError(
+                f"capsule of {len(self.code)} B exceeds {CAPSULE_CODE_BYTES} B"
+            )
+        if not (0 <= self.capsule_id <= 255):
+            raise BaselineError(f"capsule id out of range: {self.capsule_id}")
+        if not (0 <= self.version <= 0xFFFF):
+            raise BaselineError(f"version out of range: {self.version}")
+
+    def encode(self) -> bytes:
+        return bytes(
+            [self.capsule_id, self.version & 0xFF, (self.version >> 8) & 0xFF,
+             len(self.code)]
+        ) + self.code
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "Capsule":
+        if len(payload) < 4:
+            raise BaselineError("truncated capsule")
+        length = payload[3]
+        code = payload[4 : 4 + length]
+        if len(code) != length:
+            raise BaselineError("truncated capsule code")
+        return cls(payload[0], payload[1] | (payload[2] << 8), code)
+
+
+def mate_assemble(source: str, capsule_id: int = 0, version: int = 1) -> Capsule:
+    """Assemble Mate assembly into a capsule (labels supported for blez)."""
+    lines = []
+    for raw in source.splitlines():
+        comment = raw.find("//")
+        if comment >= 0:
+            raw = raw[:comment]
+        tokens = raw.split()
+        if not tokens:
+            continue
+        label = None
+        if tokens[0].isupper() and tokens[0].lower() not in MNEMONICS:
+            label = tokens[0]
+            tokens = tokens[1:]
+            if not tokens:
+                raise BaselineError(f"label {label} with no instruction")
+        lines.append((label, tokens))
+
+    labels: dict[str, int] = {}
+    address = 0
+    for label, tokens in lines:
+        if label is not None:
+            labels[label] = address
+        opcode = MNEMONICS.get(tokens[0].lower())
+        if opcode is None:
+            raise BaselineError(f"unknown Mate instruction {tokens[0]!r}")
+        address += 2 if opcode in WITH_OPERAND else 1
+
+    code = bytearray()
+    for label, tokens in lines:
+        opcode = MNEMONICS[tokens[0].lower()]
+        code.append(opcode)
+        if opcode in WITH_OPERAND:
+            if len(tokens) != 2:
+                raise BaselineError(f"{tokens[0]} takes one operand")
+            operand = tokens[1]
+            if operand in labels:
+                value = labels[operand]
+            elif operand in MATE_CONSTANTS:
+                value = MATE_CONSTANTS[operand]
+            else:
+                value = int(operand, 0)
+            if not (0 <= value <= 255):
+                raise BaselineError(f"operand out of range: {value}")
+            code.append(value)
+        elif len(tokens) != 1:
+            raise BaselineError(f"{tokens[0]} takes no operand")
+    return Capsule(capsule_id, version, bytes(code))

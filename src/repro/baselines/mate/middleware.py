@@ -1,0 +1,151 @@
+"""Mate middleware: capsule store, viral flooding, and the clock context.
+
+Code distribution mirrors Mate's design: every node keeps the newest version
+of each capsule; ``forw`` virally rebroadcasts the clock capsule
+(rate-limited), and periodic version summaries let stale nodes pull newer
+code from any neighbor.  There is no unicast, no acknowledgement, and no
+placement control — the properties §5 of the paper contrasts with Agilla:
+the *whole network* must be reprogrammed to change behaviour anywhere, and
+only one application (the current capsule set) runs at a time.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.mate.isa import Capsule
+from repro.baselines.mate.vm import MateVm
+from repro.mote.mote import Mote
+from repro.net import am
+from repro.net.stack import NetworkStack
+from repro.radio.frame import Frame
+from repro.sim.units import ms, seconds
+
+CLOCK_CAPSULE = 0
+
+DEFAULT_CLOCK_PERIOD = seconds(1.0)
+DEFAULT_SUMMARY_PERIOD = seconds(5.0)
+#: Minimum spacing between viral rebroadcasts of the same capsule.
+FORWARD_SUPPRESSION = seconds(2.0)
+
+
+class MateMiddleware:
+    """One node's Mate stack."""
+
+    def __init__(
+        self,
+        mote: Mote,
+        stack: NetworkStack,
+        clock_period: int = DEFAULT_CLOCK_PERIOD,
+        summary_period: int = DEFAULT_SUMMARY_PERIOD,
+    ):
+        self.mote = mote
+        self.stack = stack
+        self.vm = MateVm(mote, self)
+        self.capsules: dict[int, Capsule] = {}
+        self.clock_period = clock_period
+        self.summary_period = summary_period
+        self._rng = mote.sim.rng(f"mate/{mote.id}")
+        self._last_forward: dict[int, int] = {}
+        stack.register_handler(am.AM_MATE_CAPSULE, self._on_capsule)
+        stack.register_handler(am.AM_MATE_SUMMARY, self._on_summary)
+        stack.register_handler(am.AM_MATE_REPORT, self._on_report)
+        mote.memory.allocate("Mate", "capsule store", 4 * 28)
+        mote.memory.allocate("Mate", "vm state", 48)
+        self._clock = mote.new_timer(self._clock_fired)
+        self._summary = mote.new_timer(self._summary_fired)
+        #: Data reports that reached this node (the base station collects).
+        self.reports: list[tuple[int, int, int]] = []  # (src, value, time)
+        # Statistics.
+        self.installs = 0
+        self.capsule_broadcasts = 0
+        self.summary_broadcasts = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        jitter = self._rng.uniform(0.9, 1.1)
+        self._clock.start_periodic(round(self.clock_period * jitter))
+        self._summary.start_periodic(round(self.summary_period * jitter))
+
+    def install(self, capsule: Capsule) -> bool:
+        """Adopt a capsule if it is newer than what we hold."""
+        current = self.capsules.get(capsule.capsule_id)
+        if current is not None and current.version >= capsule.version:
+            return False
+        self.capsules[capsule.capsule_id] = capsule
+        self.installs += 1
+        # New code spreads fast: summarize soon so neighbors notice.
+        self.mote.sim.schedule(ms(self._rng.uniform(20, 200)), self._broadcast_summary)
+        return True
+
+    def version_of(self, capsule_id: int) -> int | None:
+        capsule = self.capsules.get(capsule_id)
+        return None if capsule is None else capsule.version
+
+    # ------------------------------------------------------------------
+    # Clock context
+    # ------------------------------------------------------------------
+    def _clock_fired(self) -> None:
+        capsule = self.capsules.get(CLOCK_CAPSULE)
+        if capsule is not None:
+            self.vm.run_capsule(capsule.code)
+
+    # ------------------------------------------------------------------
+    # Viral distribution
+    # ------------------------------------------------------------------
+    def forward_clock_capsule(self) -> None:
+        """The ``forw`` instruction: rebroadcast the running capsule."""
+        self._forward(CLOCK_CAPSULE)
+
+    def _forward(self, capsule_id: int) -> None:
+        capsule = self.capsules.get(capsule_id)
+        if capsule is None:
+            return
+        now = self.mote.sim.now
+        last = self._last_forward.get(capsule_id, -FORWARD_SUPPRESSION)
+        if now - last < FORWARD_SUPPRESSION:
+            return
+        self._last_forward[capsule_id] = now
+        self.capsule_broadcasts += 1
+        self.stack.broadcast(am.AM_MATE_CAPSULE, capsule.encode())
+
+    def _summary_fired(self) -> None:
+        self._broadcast_summary()
+
+    def _broadcast_summary(self) -> None:
+        if not self.capsules:
+            return
+        payload = bytearray()
+        for capsule in self.capsules.values():
+            payload += bytes(
+                [capsule.capsule_id, capsule.version & 0xFF, capsule.version >> 8]
+            )
+        self.summary_broadcasts += 1
+        self.stack.broadcast(am.AM_MATE_SUMMARY, bytes(payload))
+
+    def _on_summary(self, frame: Frame) -> None:
+        data = frame.payload
+        for offset in range(0, len(data) - 2, 3):
+            capsule_id = data[offset]
+            version = data[offset + 1] | (data[offset + 2] << 8)
+            mine = self.version_of(capsule_id)
+            if mine is not None and mine > version:
+                # The neighbor is stale: push our newer capsule.
+                self._forward(capsule_id)
+
+    def _on_capsule(self, frame: Frame) -> None:
+        try:
+            capsule = Capsule.decode(frame.payload)
+        except Exception:
+            return
+        self.install(capsule)
+
+    # ------------------------------------------------------------------
+    # Data reports (the `send` instruction)
+    # ------------------------------------------------------------------
+    def send_report(self, value: int) -> None:
+        payload = bytes([value & 0xFF, (value >> 8) & 0xFF])
+        self.stack.broadcast(am.AM_MATE_REPORT, payload)
+
+    def _on_report(self, frame: Frame) -> None:
+        value = frame.payload[0] | (frame.payload[1] << 8)
+        if len(self.reports) < 10_000:
+            self.reports.append((frame.src, value, self.mote.sim.now))

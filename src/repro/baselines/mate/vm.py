@@ -1,0 +1,138 @@
+"""The Mate virtual machine: a clock-context capsule interpreter.
+
+Mate runs its clock capsule on a timer; instructions execute as TinyOS tasks
+on the host CPU, like Agilla's.  The VM is deliberately minimal — just
+enough to run the paper's comparison workloads (sense/report/blink programs
+distributed by flooding).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.baselines.mate import isa
+from repro.errors import BaselineError
+from repro.mote.mote import Mote
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.baselines.mate.middleware import MateMiddleware
+
+#: Cycle cost per Mate instruction (comparable to Agilla's class A/B).
+INSTRUCTION_CYCLES = 700
+
+#: Shared variable slots (Mate's shared heap).
+VAR_SLOTS = 8
+
+#: Safety bound on instructions per clock firing (no runaway capsules).
+MAX_STEPS_PER_RUN = 256
+
+
+class MateVm:
+    """Interpreter state for one mote."""
+
+    def __init__(self, mote: Mote, middleware: "MateMiddleware"):
+        self.mote = mote
+        self.middleware = middleware
+        self.stack: list[int] = []
+        self.variables = [0] * VAR_SLOTS
+        self.running = False
+        # Statistics.
+        self.runs = 0
+        self.instructions_executed = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    def run_capsule(self, code: bytes) -> None:
+        """Begin interpreting a capsule (one instruction per CPU task)."""
+        if self.running:
+            return  # clock fired while the previous run is still going
+        self.running = True
+        self.runs += 1
+        self.stack.clear()
+        self._step(code, 0, 0)
+
+    def _step(self, code: bytes, pc: int, steps: int) -> None:
+        if pc >= len(code) or steps >= MAX_STEPS_PER_RUN:
+            self.running = False
+            return
+        opcode = code[pc]
+        try:
+            next_pc = self._execute(code, pc, opcode)
+        except BaselineError:
+            self.errors += 1
+            self.running = False
+            return
+        self.instructions_executed += 1
+        if next_pc is None:  # halt
+            self.running = False
+            return
+        self.mote.cpu.execute(
+            INSTRUCTION_CYCLES, self._step, code, next_pc, steps + 1
+        )
+
+    # ------------------------------------------------------------------
+    def _pop(self) -> int:
+        if not self.stack:
+            raise BaselineError("Mate stack underflow")
+        return self.stack.pop()
+
+    def _execute(self, code: bytes, pc: int, opcode: int) -> int | None:
+        operand_pc = pc + 1
+        if opcode in isa.WITH_OPERAND:
+            if operand_pc >= len(code):
+                raise BaselineError("truncated Mate instruction")
+            operand = code[operand_pc]
+            next_pc = pc + 2
+        else:
+            operand = 0
+            next_pc = pc + 1
+
+        if opcode == isa.OP_HALT:
+            return None
+        if opcode == isa.OP_PUSHC:
+            self.stack.append(operand)
+        elif opcode == isa.OP_ADD:
+            self.stack.append(self._pop() + self._pop())
+        elif opcode == isa.OP_SUB:
+            top = self._pop()
+            self.stack.append(self._pop() - top)
+        elif opcode == isa.OP_AND:
+            self.stack.append(self._pop() & self._pop())
+        elif opcode == isa.OP_OR:
+            self.stack.append(self._pop() | self._pop())
+        elif opcode == isa.OP_INC:
+            self.stack.append(self._pop() + 1)
+        elif opcode == isa.OP_COPY:
+            if not self.stack:
+                raise BaselineError("Mate stack underflow")
+            self.stack.append(self.stack[-1])
+        elif opcode == isa.OP_POP:
+            self._pop()
+        elif opcode == isa.OP_SWAP:
+            top, below = self._pop(), self._pop()
+            self.stack.extend([top, below])
+        elif opcode == isa.OP_SENSE:
+            sensor_type = self._pop()
+            self.stack.append(self.mote.sense(sensor_type))
+        elif opcode == isa.OP_PUTLED:
+            self.mote.leds.execute(self._pop() & 0xFF, self.mote.sim.now)
+        elif opcode == isa.OP_SEND:
+            self.middleware.send_report(self._pop())
+        elif opcode == isa.OP_FORW:
+            self.middleware.forward_clock_capsule()
+        elif opcode == isa.OP_NOP:
+            pass
+        elif opcode == isa.OP_BLEZ:
+            if self._pop() <= 0:
+                return operand
+        elif opcode == isa.OP_GETVAR:
+            if operand >= VAR_SLOTS:
+                raise BaselineError("Mate variable slot out of range")
+            self.stack.append(self.variables[operand])
+        elif opcode == isa.OP_SETVAR:
+            if operand >= VAR_SLOTS:
+                raise BaselineError("Mate variable slot out of range")
+            self.variables[operand] = self._pop()
+        else:
+            raise BaselineError(f"invalid Mate opcode 0x{opcode:02x}")
+        return next_pc

@@ -1,0 +1,5 @@
+"""Benchmark harness: one module per paper figure/table (see DESIGN.md)."""
+
+from repro.bench.reporting import Table, mean, median
+
+__all__ = ["Table", "mean", "median"]

@@ -1,0 +1,113 @@
+"""Ablation benches for the design decisions §3 argues for.
+
+* **End-to-end vs hop-by-hop migration** — the paper's §3.2: "We tried using
+  end-to-end communication ... but found that the high packet-loss
+  probability over multiple links made this unacceptably prone to failure."
+* **Retransmission budget** — the 0.1 s x 4 retransmit policy.
+* **Code-block size** — the instruction manager's 22-byte blocks as "a good
+  compromise between internal fragmentation and undue forward pointer
+  overhead".
+"""
+
+from __future__ import annotations
+
+from repro.agilla.assembler import assemble
+from repro.agilla.instruction_manager import InstructionManager
+from repro.agilla.params import AgillaParams
+from repro.apps.fire import firedetector, firetracker
+from repro.apps.habitat import habitat_monitor
+from repro.apps.testers import rout_agent, smove_agent
+from repro.apps.tracker import chaser
+from repro.bench.reporting import Table
+from repro.network import GridNetwork
+
+
+def _one_way_arrival_rate(
+    runs: int, seed: int, hop_count: int, params: AgillaParams
+) -> float:
+    """Fraction of one-way smove transfers that arrive at (h,1)."""
+    arrivals = 0
+    for run in range(runs):
+        net = GridNetwork(seed=seed * 7_000_003 + hop_count * 101 + run, params=params)
+        program = assemble(f"pushloc {hop_count} 1\nsmove\nhalt", name="abl")
+        net.inject(program, at=(0, 0))
+        dest = net.middleware((hop_count, 1))
+        if net.run_until(
+            lambda: any(e[0] == "arrival" for e in dest.migration.events), 30.0
+        ):
+            arrivals += 1
+    return arrivals / runs
+
+
+def run_ablation_e2e(runs: int = 30, seed: int = 0) -> Table:
+    """Hop-by-hop ACKed migration vs unacknowledged end-to-end."""
+    table = Table(
+        "ablation_e2e",
+        "Migration protocol ablation: hop-by-hop ACKs vs end-to-end (§3.2)",
+        ["hops", "hop-by-hop arrival", "end-to-end arrival"],
+    )
+    for hop_count in (1, 3, 5):
+        hop_rate = _one_way_arrival_rate(runs, seed, hop_count, AgillaParams())
+        e2e_rate = _one_way_arrival_rate(
+            runs, seed + 1, hop_count, AgillaParams(e2e_migration=True)
+        )
+        table.add_row(hop_count, hop_rate, e2e_rate)
+    table.add_note(
+        'the paper rejected end-to-end as "unacceptably prone to failure"'
+    )
+    return table
+
+
+def run_ablation_retransmit(runs: int = 30, seed: int = 0, hops: int = 3) -> Table:
+    """How the retransmit budget buys migration reliability."""
+    table = Table(
+        "ablation_retransmit",
+        f"Retransmission budget vs {hops}-hop migration arrival rate",
+        ["max retransmits", "arrival rate"],
+    )
+    for budget in (0, 1, 2, 4, 8):
+        params = AgillaParams(max_retransmits=budget)
+        table.add_row(budget, _one_way_arrival_rate(runs, seed, hops, params))
+    table.add_note("paper default: 4 retransmits at 0.1 s spacing")
+    return table
+
+
+def run_ablation_code_blocks() -> Table:
+    """Instruction-manager granularity: fragmentation vs pointer overhead.
+
+    For each block size, allocate this repo's real agent programs into the
+    440-byte code store and report internal fragmentation and how many of
+    the programs fit concurrently.  Per-block overhead: one forward pointer
+    byte of RAM, mirroring §3.2's trade-off discussion.
+    """
+    programs = {
+        "smove tester": smove_agent(5, 1).size,
+        "rout tester": rout_agent(5, 1).size,
+        "FIREDETECTOR": firedetector().size,
+        "FIRETRACKER": firetracker().size,
+        "habitat monitor": habitat_monitor().size,
+        "intruder chaser": chaser().size,
+    }
+    table = Table(
+        "ablation_blocks",
+        "Code-block size ablation over this repo's agents (440 B store)",
+        ["block B", "blocks", "pointer B", "frag B (all agents)", "agents fitting"],
+    )
+    total_store = 440
+    for block_bytes in (8, 11, 22, 44, 110, 440):
+        blocks = total_store // block_bytes
+        manager = InstructionManager(None, block_bytes=block_bytes, num_blocks=blocks)
+        fragmentation = sum(
+            manager.blocks_needed(size) * block_bytes - size
+            for size in programs.values()
+        )
+        fitting = 0
+        for index, size in enumerate(sorted(programs.values())):
+            if manager.can_fit(size):
+                manager.allocate(index + 1, bytes(size))
+                fitting += 1
+        table.add_row(block_bytes, blocks, blocks, fragmentation, fitting)
+    for name, size in programs.items():
+        table.add_note(f"{name}: {size} B")
+    table.add_note("paper default block size: 22 B (20 blocks)")
+    return table

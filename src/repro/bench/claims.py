@@ -1,0 +1,43 @@
+"""Headline-claim checks (abstract and §4 derived numbers)."""
+
+from __future__ import annotations
+
+from repro.bench.figures import run_migration_vs_remote
+from repro.bench.reporting import Table
+
+
+def run_claims(runs: int = 60, seed: int = 0) -> Table:
+    """Verify the abstract's quantitative claims against our measurements.
+
+    * "An agent can migrate 5 hops in less than 1.1 seconds with 92%
+      reliability."
+    * §4: "the quickest an agent can migrate is once every 0.3 seconds."
+    """
+    data = run_migration_vs_remote(runs=runs, seed=seed, hops=(1, 5))
+    smove_5 = data["smove"][5]
+    smove_1 = data["smove"][1]
+    table = Table(
+        "claims",
+        "Headline claims: paper vs measured",
+        ["claim", "paper", "measured", "holds"],
+    )
+    table.add_row(
+        "5-hop migration latency",
+        "< 1100 ms",
+        f"{smove_5['median_ms']:.0f} ms",
+        str(smove_5["median_ms"] < 1100),
+    )
+    table.add_row(
+        "5-hop migration reliability",
+        "~92%",
+        f"{smove_5['reliability'] * 100:.0f}%",
+        str(abs(smove_5["reliability"] - 0.92) <= 0.08),
+    )
+    table.add_row(
+        "fastest migration interval",
+        "~0.3 s (one hop)",
+        f"{smove_1['min_ms'] / 1000:.2f} s",
+        str(smove_1["min_ms"] < 400),
+    )
+    table.add_note(f"{runs} runs per point")
+    return table

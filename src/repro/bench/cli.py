@@ -1,0 +1,85 @@
+"""Command-line entry point: regenerate any table/figure from the paper.
+
+Usage::
+
+    python -m repro.bench fig9 --runs 100
+    python -m repro.bench all --runs 50 --out results/
+    agilla-bench fig12
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import ablations, claims, figures, mate_compare, memory_report
+from repro.bench.reporting import Table
+
+
+def _fig9_10(args) -> list[Table]:
+    data = figures.run_migration_vs_remote(runs=args.runs, seed=args.seed)
+    return [figures.fig9_table(data), figures.fig10_table(data)]
+
+
+EXPERIMENTS = {
+    "fig5": lambda args: [figures.run_fig5()],
+    "fig7": lambda args: [figures.run_fig7()],
+    "fig9": _fig9_10,
+    "fig10": _fig9_10,
+    "fig11": lambda args: [figures.run_fig11(samples=args.runs, seed=args.seed)],
+    "fig12": lambda args: [figures.run_fig12(repetitions=max(1, args.runs // 5), seed=args.seed)],
+    "memory": lambda args: [memory_report.run_memory(seed=args.seed)],
+    "mate": lambda args: [mate_compare.run_mate_comparison(seed=args.seed)],
+    "claims": lambda args: [claims.run_claims(runs=args.runs, seed=args.seed)],
+    "ablation-e2e": lambda args: [
+        ablations.run_ablation_e2e(runs=max(5, args.runs // 3), seed=args.seed)
+    ],
+    "ablation-retransmit": lambda args: [
+        ablations.run_ablation_retransmit(runs=max(5, args.runs // 3), seed=args.seed)
+    ],
+    "ablation-blocks": lambda args: [ablations.run_ablation_code_blocks()],
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="agilla-bench",
+        description="Regenerate the Agilla paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=100, help="timed runs per data point"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--out", default=None, help="also save tables under this directory"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        names = sorted(set(EXPERIMENTS) - {"fig10"})  # fig9 emits both
+    else:
+        names = [args.experiment]
+
+    seen: set[str] = set()
+    for name in names:
+        started = time.time()
+        for table in EXPERIMENTS[name](args):
+            if table.experiment_id in seen:
+                continue
+            seen.add(table.experiment_id)
+            print(table.render())
+            print(f"[{time.time() - started:.1f}s wall]")
+            print()
+            if args.out:
+                table.save(args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

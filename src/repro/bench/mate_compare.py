@@ -1,0 +1,159 @@
+"""The §5 comparison: Agilla vs a Mate-style flooding VM.
+
+The paper argues qualitatively that Mate (i) must distribute code to the
+*entire network* even for a localized change, and (ii) runs only one
+application at a time.  This harness quantifies both on identical testbeds:
+
+1. **Deploy-everywhere**: spread a detection application to all 25 motes
+   (Agilla: self-cloning agent; Mate: viral capsule flooding).
+2. **Targeted response**: place response code on a single node
+   (Agilla: one agent migration; Mate: re-flood the whole network).
+3. **Multi-application**: run a second application
+   (Agilla: agents coexist; Mate: the new capsule replaces the old app).
+"""
+
+from __future__ import annotations
+
+from repro.agilla.assembler import assemble
+from repro.agilla.fields import StringField
+from repro.apps.fire import firedetector, firetracker
+from repro.apps.habitat import habitat_monitor
+from repro.baselines.mate import CLOCK_CAPSULE, MateNetwork, mate_assemble
+from repro.bench.reporting import Table
+from repro.location import Location
+from repro.network import GridNetwork
+from repro.sim.units import to_seconds
+
+MATE_DETECTOR = """
+    pushc TEMPERATURE
+    sense
+    send
+    forw
+    halt
+"""
+
+MATE_RESPONSE = """
+    pushc TEMPERATURE
+    sense
+    send
+    pushc LED_RED_TOGGLE
+    putled
+    forw
+    halt
+"""
+
+
+def _has_tag(net: GridNetwork, location, tag: str) -> bool:
+    for tup in net.tuples_at(location):
+        if tup.arity and isinstance(tup.fields[0], StringField):
+            if tup.fields[0].text == tag:
+                return True
+    return False
+
+
+def _agilla_non_beacon_messages(net: GridNetwork) -> int:
+    beacons = sum(node.beacons.beacons_sent for node in net.all_nodes())
+    return net.radio_messages() - beacons
+
+
+def run_mate_comparison(seed: int = 0, width: int = 5, height: int = 5) -> Table:
+    table = Table(
+        "mate",
+        "Agilla vs Mate (§5): reprogramming cost and flexibility",
+        ["scenario", "system", "radio msgs", "time (s)", "outcome"],
+    )
+    nodes = width * height
+
+    # ------------------------------------------------------------------
+    # 1. Deploy detection code to every node.
+    # ------------------------------------------------------------------
+    agilla = GridNetwork(width=width, height=height, seed=seed)
+    agilla.inject(firedetector(), at=(0, 0))
+    covered = lambda: all(  # noqa: E731
+        _has_tag(agilla, node.location, "fdt") for node in agilla.grid_nodes()
+    )
+    start = agilla.sim.now
+    done = agilla.run_until(covered, 600.0)
+    table.add_row(
+        f"deploy to all {nodes}",
+        "Agilla",
+        _agilla_non_beacon_messages(agilla),
+        to_seconds(agilla.sim.now - start),
+        "full coverage" if done else "TIMEOUT",
+    )
+
+    mate = MateNetwork(width=width, height=height, seed=seed)
+    mate.reprogram(mate_assemble(MATE_DETECTOR, version=1))
+    start = mate.sim.now
+    done = mate.run_until(lambda: mate.coverage(CLOCK_CAPSULE, 1) == 1.0, 600.0)
+    deploy_msgs = mate.radio_messages()
+    table.add_row(
+        f"deploy to all {nodes}",
+        "Mate",
+        deploy_msgs,
+        to_seconds(mate.sim.now - start),
+        "full coverage" if done else "TIMEOUT",
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Targeted response at one node (the fire is at (3,3)).
+    # ------------------------------------------------------------------
+    agilla2 = GridNetwork(width=width, height=height, seed=seed + 1)
+    before = _agilla_non_beacon_messages(agilla2)
+    mover = assemble("pushloc 3 3\nsmove\nwait", name="rsp")
+    agilla2.inject(mover, at=(0, 0))
+    start = agilla2.sim.now
+    placed = agilla2.run_until(
+        lambda: any(a.name == "rsp" for a in agilla2.agents_at((3, 3))), 120.0
+    )
+    table.add_row(
+        "respond at (3,3) only",
+        "Agilla",
+        _agilla_non_beacon_messages(agilla2) - before,
+        to_seconds(agilla2.sim.now - start),
+        "code on 1 node" if placed else "TIMEOUT",
+    )
+
+    before = mate.radio_messages()
+    mate.reprogram(mate_assemble(MATE_RESPONSE, version=2))
+    start = mate.sim.now
+    done = mate.run_until(lambda: mate.coverage(CLOCK_CAPSULE, 2) == 1.0, 600.0)
+    table.add_row(
+        "respond at (3,3) only",
+        "Mate",
+        mate.radio_messages() - before,
+        to_seconds(mate.sim.now - start),
+        f"code re-flooded to all {nodes}" if done else "TIMEOUT",
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Multiple applications sharing the network.
+    # ------------------------------------------------------------------
+    agilla3 = GridNetwork(width=3, height=3, seed=seed + 2)
+    habitat = agilla3.inject(habitat_monitor(die_on_fire=False), at=(2, 2))
+    tracker = agilla3.inject(firetracker(), at=(1, 1))
+    agilla3.run(20.0)
+    both_alive = (
+        habitat in agilla3.agents_at((2, 2)) and tracker in agilla3.agents_at((1, 1))
+    )
+    table.add_row(
+        "run a 2nd application",
+        "Agilla",
+        "-",
+        "-",
+        "both apps coexist" if both_alive else "FAILED",
+    )
+    # Mate: version 2 replaced version 1 everywhere (measured above).
+    v1_survivors = sum(
+        1 for node in mate.grid_middlewares()
+        if (node.version_of(CLOCK_CAPSULE) or 0) < 2
+    )
+    table.add_row(
+        "run a 2nd application",
+        "Mate",
+        "-",
+        "-",
+        f"old app evicted everywhere ({v1_survivors} nodes still on v1)",
+    )
+    table.add_note("Agilla message counts exclude neighbor beacons")
+    return table

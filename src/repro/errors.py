@@ -1,0 +1,80 @@
+"""Exception hierarchy shared across the Agilla reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch the whole family, or a narrow subclass, without importing each
+subsystem's module.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly."""
+
+
+class MemoryBudgetError(ReproError):
+    """A static allocation would exceed the mote's 4 KB data memory."""
+
+
+class RadioError(ReproError):
+    """Misuse of the radio/channel layer."""
+
+
+class NetworkError(ReproError):
+    """Misuse of the network stack (bad address, no route, oversized frame)."""
+
+
+class AgillaError(ReproError):
+    """Base class for middleware-level errors."""
+
+
+class TupleSpaceError(AgillaError):
+    """Malformed tuple/template or arena misuse."""
+
+
+class TupleSpaceFullError(TupleSpaceError):
+    """The 600-byte tuple arena cannot hold another tuple."""
+
+
+class TupleTooLargeError(TupleSpaceError):
+    """A tuple's fields exceed the 25-byte serialization limit."""
+
+
+class ReactionRegistryFullError(AgillaError):
+    """The 400-byte reaction registry cannot hold another registration."""
+
+
+class AssemblerError(AgillaError):
+    """The agent program source could not be assembled."""
+
+
+class CodeMemoryError(AgillaError):
+    """The instruction manager cannot hold the agent's code."""
+
+
+class AgentError(AgillaError):
+    """Runtime fault inside an executing agent (trap)."""
+
+
+class StackOverflowError(AgentError):
+    """Agent operand stack exceeded its 16 slots."""
+
+
+class StackUnderflowError(AgentError):
+    """Agent popped from an empty operand stack."""
+
+
+class HeapIndexError(AgentError):
+    """Agent accessed a heap variable outside slots 0..11."""
+
+
+class AgentLimitError(AgillaError):
+    """The agent manager already hosts its maximum number of agents."""
+
+
+class BaselineError(ReproError):
+    """Errors from the Mate baseline implementation."""

@@ -1,0 +1,66 @@
+"""Location-based addressing.
+
+Agilla identifies nodes by their physical location rather than a network
+address (paper §2.2): "A node's location is its address."  Locations are
+integer grid coordinates; a small error tolerance ``epsilon`` is allowed when
+matching a destination against a node's own location.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+INT16_MIN = -32768
+INT16_MAX = 32767
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """A node address: an (x, y) pair of signed 16-bit grid coordinates."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        for coord in (self.x, self.y):
+            if not (INT16_MIN <= coord <= INT16_MAX):
+                raise ValueError(f"coordinate out of int16 range: {coord}")
+
+    # ------------------------------------------------------------------
+    def distance_to(self, other: "Location") -> float:
+        """Euclidean distance in grid units."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_to(self, other: "Location") -> int:
+        """Manhattan (grid-hop) distance."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def matches(self, other: "Location", epsilon: float = 0.0) -> bool:
+        """True if ``other`` is within ``epsilon`` grid units of this node.
+
+        The paper allows an error epsilon when addressing by location to
+        tolerate localization error; epsilon 0 requires exact equality.
+        """
+        if epsilon <= 0.0:
+            return self == other
+        return self.distance_to(other) <= epsilon
+
+    def offset(self, dx: int, dy: int) -> "Location":
+        """A new location displaced by (dx, dy)."""
+        return Location(self.x + dx, self.y + dy)
+
+    def __str__(self) -> str:
+        return f"({self.x},{self.y})"
+
+
+#: The base station's well-known address (paper Figure 8 injects at (0,0)).
+BASE_STATION_LOCATION = Location(0, 0)
+
+#: Link-layer broadcast mote id (TinyOS TOS_BCAST_ADDR).
+BROADCAST_ID = 0xFFFF
+
+
+def grid_locations(width: int, height: int) -> list[Location]:
+    """Grid of locations (1,1)..(width,height), lower-left first (paper §4)."""
+    return [Location(x, y) for y in range(1, height + 1) for x in range(1, width + 1)]

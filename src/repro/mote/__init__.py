@@ -1,0 +1,51 @@
+"""MICA2 mote model: CPU, memory ledger, LEDs, sensors, environments."""
+
+from repro.mote.environment import (
+    ConstantField,
+    Environment,
+    FireField,
+    HotspotField,
+    MovingTargetField,
+    NoisyField,
+    waypoint_path,
+)
+from repro.mote.leds import Leds
+from repro.mote.memory import MICA2_FLASH_BYTES, MICA2_RAM_BYTES, Allocation, MemoryLedger
+from repro.mote.mote import MICA2_CLOCK_HZ, Mote
+from repro.mote.sensors import (
+    ACCELERATION,
+    ADC_MAX,
+    LIGHT,
+    MAGNETOMETER,
+    SENSOR_NAMES,
+    SENSOR_TAGS,
+    SOUND,
+    TEMPERATURE,
+    SensorBoard,
+)
+
+__all__ = [
+    "ConstantField",
+    "Environment",
+    "FireField",
+    "HotspotField",
+    "MovingTargetField",
+    "NoisyField",
+    "waypoint_path",
+    "Leds",
+    "MICA2_FLASH_BYTES",
+    "MICA2_RAM_BYTES",
+    "Allocation",
+    "MemoryLedger",
+    "MICA2_CLOCK_HZ",
+    "Mote",
+    "ACCELERATION",
+    "ADC_MAX",
+    "LIGHT",
+    "MAGNETOMETER",
+    "SENSOR_NAMES",
+    "SENSOR_TAGS",
+    "SOUND",
+    "TEMPERATURE",
+    "SensorBoard",
+]

@@ -1,0 +1,54 @@
+"""The MICA2's three debug LEDs (red, green, yellow).
+
+Agilla's ``putled`` instruction drives these; tests and examples observe the
+recorded history to verify agent behaviour without a physical mote.
+"""
+
+from __future__ import annotations
+
+RED = 0
+GREEN = 1
+YELLOW = 2
+
+_NAMES = {RED: "red", GREEN: "green", YELLOW: "yellow"}
+
+# putled command encoding (2-bit op in bits 3-4, LED mask in bits 0-2),
+# following Mate's convention: 00=set mask, 01=on, 10=off, 11=toggle.
+OP_SET = 0
+OP_ON = 1
+OP_OFF = 2
+OP_TOGGLE = 3
+
+
+class Leds:
+    """Three on/off LEDs with a bounded history of state changes."""
+
+    HISTORY_LIMIT = 1024
+
+    def __init__(self) -> None:
+        self.state = [False, False, False]
+        self.history: list[tuple[int, tuple[bool, bool, bool]]] = []
+
+    def execute(self, command: int, now: int) -> None:
+        """Apply a ``putled`` command word (op in bits 3-4, mask in 0-2)."""
+        op = (command >> 3) & 0x3
+        mask = command & 0x7
+        for led in (RED, GREEN, YELLOW):
+            bit = bool(mask & (1 << led))
+            if op == OP_SET:
+                self.state[led] = bit
+            elif op == OP_ON and bit:
+                self.state[led] = True
+            elif op == OP_OFF and bit:
+                self.state[led] = False
+            elif op == OP_TOGGLE and bit:
+                self.state[led] = not self.state[led]
+        if len(self.history) < self.HISTORY_LIMIT:
+            self.history.append((now, (self.state[0], self.state[1], self.state[2])))
+
+    def lit(self) -> list[str]:
+        """Names of LEDs currently on (for human-readable output)."""
+        return [_NAMES[led] for led in (RED, GREEN, YELLOW) if self.state[led]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Leds {'+'.join(self.lit()) or 'off'}>"

@@ -1,0 +1,116 @@
+"""Static memory accounting for a 4 KB mote.
+
+TinyOS has no dynamic allocation: every buffer is declared statically and the
+MICA2 gives you exactly 4096 bytes of SRAM (paper §3.1).  Each middleware
+component registers its static buffers with the mote's :class:`MemoryLedger`;
+exceeding the budget raises, exactly as the real linker would refuse to fit.
+
+The ledger also tracks nominal code (flash) footprints so the benchmark can
+regenerate the paper's headline "41.6 KB code / 3.59 KB data" table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryBudgetError
+
+MICA2_RAM_BYTES = 4096
+MICA2_FLASH_BYTES = 131072
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One static buffer owned by a component."""
+
+    component: str
+    label: str
+    nbytes: int
+
+
+class MemoryLedger:
+    """Tracks static RAM and flash allocations against the MICA2 budget."""
+
+    def __init__(
+        self,
+        ram_capacity: int = MICA2_RAM_BYTES,
+        flash_capacity: int = MICA2_FLASH_BYTES,
+    ):
+        self.ram_capacity = ram_capacity
+        self.flash_capacity = flash_capacity
+        self._ram: list[Allocation] = []
+        self._flash: list[Allocation] = []
+
+    # ------------------------------------------------------------------
+    # RAM (data memory)
+    # ------------------------------------------------------------------
+    def allocate(self, component: str, label: str, nbytes: int) -> Allocation:
+        """Register a static RAM buffer; raises if the 4 KB budget is blown."""
+        if nbytes < 0:
+            raise MemoryBudgetError(f"negative allocation: {nbytes}")
+        if self.ram_used + nbytes > self.ram_capacity:
+            raise MemoryBudgetError(
+                f"{component}/{label}: {nbytes} B would exceed RAM budget "
+                f"({self.ram_used}/{self.ram_capacity} B used)"
+            )
+        allocation = Allocation(component, label, nbytes)
+        self._ram.append(allocation)
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        """Release a previously registered buffer (for torn-down components)."""
+        self._ram.remove(allocation)
+
+    @property
+    def ram_used(self) -> int:
+        return sum(a.nbytes for a in self._ram)
+
+    @property
+    def ram_free(self) -> int:
+        return self.ram_capacity - self.ram_used
+
+    # ------------------------------------------------------------------
+    # Flash (code memory)
+    # ------------------------------------------------------------------
+    def record_code(self, component: str, nbytes: int) -> None:
+        """Register a component's code (flash) footprint."""
+        if self.flash_used + nbytes > self.flash_capacity:
+            raise MemoryBudgetError(
+                f"{component}: {nbytes} B of code would exceed flash budget"
+            )
+        self._flash.append(Allocation(component, "code", nbytes))
+
+    @property
+    def flash_used(self) -> int:
+        return sum(a.nbytes for a in self._flash)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def ram_by_component(self) -> dict[str, int]:
+        """Total RAM bytes per component, sorted descending."""
+        totals: dict[str, int] = {}
+        for allocation in self._ram:
+            totals[allocation.component] = (
+                totals.get(allocation.component, 0) + allocation.nbytes
+            )
+        return dict(sorted(totals.items(), key=lambda item: -item[1]))
+
+    def flash_by_component(self) -> dict[str, int]:
+        """Total flash bytes per component, sorted descending."""
+        totals: dict[str, int] = {}
+        for allocation in self._flash:
+            totals[allocation.component] = (
+                totals.get(allocation.component, 0) + allocation.nbytes
+            )
+        return dict(sorted(totals.items(), key=lambda item: -item[1]))
+
+    def report(self) -> str:
+        """Human-readable ledger, one line per component."""
+        lines = [f"RAM  {self.ram_used:5d} / {self.ram_capacity} bytes"]
+        for component, nbytes in self.ram_by_component().items():
+            lines.append(f"  {component:<28s} {nbytes:5d} B")
+        lines.append(f"FLASH {self.flash_used:5d} / {self.flash_capacity} bytes")
+        for component, nbytes in self.flash_by_component().items():
+            lines.append(f"  {component:<28s} {nbytes:5d} B")
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""The MICA2 mote: one node's hardware bundle.
+
+A mote owns the pieces the paper's platform section (§3.1) describes: an
+8 MHz ATmega128L CPU (modeled as a serializing task executor), 4 KB of data
+memory (enforced by the :class:`~repro.mote.memory.MemoryLedger`), a CC1000
+radio (attached by the channel), three LEDs, and a sensor board.  Agilla
+assumes each node knows its own physical location (§2.2), so the location is
+part of the hardware state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mote.environment import Environment
+from repro.mote.leds import Leds
+from repro.mote.memory import MemoryLedger
+from repro.mote.sensors import SensorBoard
+from repro.location import Location
+from repro.sim.kernel import Simulator
+from repro.tinyos.tasks import Cpu, TaskQueue
+from repro.tinyos.timer import Timer
+
+MICA2_CLOCK_HZ = 8_000_000
+
+
+class Mote:
+    """One sensor node: CPU, memory, radio socket, LEDs, sensors, location."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mote_id: int,
+        location: Location,
+        environment: Environment | None = None,
+        sensor_board: SensorBoard | None = None,
+        clock_hz: int = MICA2_CLOCK_HZ,
+    ):
+        self.sim = sim
+        self.id = mote_id
+        self.location = location
+        self.environment = environment if environment is not None else Environment()
+        self.cpu = Cpu(sim, clock_hz)
+        self.tasks = TaskQueue(self.cpu)
+        self.memory = MemoryLedger()
+        self.leds = Leds()
+        self.sensors = sensor_board if sensor_board is not None else SensorBoard()
+        # Set by Channel.attach(); typed loosely to avoid an import cycle.
+        self.radio = None
+
+    # ------------------------------------------------------------------
+    def sense(self, sensor_type: int) -> int:
+        """Read a sensor through the shared environment (10-bit value)."""
+        return self.sensors.read(
+            sensor_type, self.environment, self.location, self.sim.now
+        )
+
+    def new_timer(self, callback: Callable[[], None]) -> Timer:
+        """Create a TinyOS-style timer owned by this mote."""
+        return Timer(self.sim, callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Mote {self.id} @ {self.location}>"

@@ -1,0 +1,91 @@
+"""Sensor board model.
+
+Each mote carries a set of sensors; Agilla's ``sense`` instruction reads one
+by type and pushes a 10-bit ADC-style reading (0..1023).  What the sensor
+*sees* comes from the shared :mod:`repro.mote.environment`, so applications
+like fire tracking observe a coherent spatial field.
+
+The paper (§2.2) notes that Agilla advertises each node's sensors via
+pre-defined tuples in the local tuple space; the middleware queries
+:meth:`SensorBoard.types` to insert those context tuples at boot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.mote.environment import Environment
+    from repro.location import Location
+
+# Sensor type codes, shared by the `sense` instruction, context tuples and
+# the assembler's named constants.
+TEMPERATURE = 1
+LIGHT = 2
+MAGNETOMETER = 3
+SOUND = 4
+ACCELERATION = 5
+
+SENSOR_NAMES = {
+    TEMPERATURE: "temperature",
+    LIGHT: "light",
+    MAGNETOMETER: "magnetometer",
+    SOUND: "sound",
+    ACCELERATION: "acceleration",
+}
+
+#: 3-character tuple-space names for sensor context tuples ("temperature
+#: tuple" etc. from paper §2.2), constrained by Agilla's packed strings.
+SENSOR_TAGS = {
+    TEMPERATURE: "tmp",
+    LIGHT: "lit",
+    MAGNETOMETER: "mag",
+    SOUND: "snd",
+    ACCELERATION: "acc",
+}
+
+ADC_MAX = 1023
+
+
+class SensorBoard:
+    """The sensors attached to one mote.
+
+    Parameters
+    ----------
+    sensor_types:
+        Which sensor type codes this board carries (the MTS310 default board
+        has temperature + light + magnetometer + sound).
+    """
+
+    DEFAULT_TYPES = (TEMPERATURE, LIGHT, MAGNETOMETER, SOUND)
+
+    def __init__(self, sensor_types: tuple[int, ...] = DEFAULT_TYPES):
+        for sensor_type in sensor_types:
+            if sensor_type not in SENSOR_NAMES:
+                raise ValueError(f"unknown sensor type code: {sensor_type}")
+        self._types = tuple(sensor_types)
+        self.readings_taken = 0
+
+    def types(self) -> tuple[int, ...]:
+        """Sensor type codes present on this board."""
+        return self._types
+
+    def has(self, sensor_type: int) -> bool:
+        return sensor_type in self._types
+
+    def read(
+        self,
+        sensor_type: int,
+        environment: "Environment",
+        location: "Location",
+        now: int,
+    ) -> int:
+        """Sample a sensor; absent sensors read 0 (as a floating ADC pin).
+
+        Returns a clamped 10-bit value.
+        """
+        if not self.has(sensor_type):
+            return 0
+        self.readings_taken += 1
+        raw = environment.sample(sensor_type, location, now)
+        return max(0, min(ADC_MAX, int(raw)))

@@ -1,0 +1,37 @@
+"""Network layer: addressing, AM dispatch, filters, beacons, geo routing."""
+
+from repro.net.acquaintance import Acquaintance, AcquaintanceList
+from repro.net.addresses import (
+    BASE_STATION_LOCATION,
+    BROADCAST_ID,
+    Location,
+    grid_locations,
+)
+from repro.net.beacons import BeaconService
+from repro.net.filters import GridNeighborFilter, bridge_edge
+from repro.net.georouting import (
+    DEFAULT_EPSILON,
+    DEFAULT_TTL,
+    GEO_MAX_PAYLOAD,
+    GeoMessaging,
+    GeoRouter,
+)
+from repro.net.stack import NetworkStack
+
+__all__ = [
+    "Acquaintance",
+    "AcquaintanceList",
+    "BASE_STATION_LOCATION",
+    "BROADCAST_ID",
+    "Location",
+    "grid_locations",
+    "BeaconService",
+    "GridNeighborFilter",
+    "bridge_edge",
+    "DEFAULT_EPSILON",
+    "DEFAULT_TTL",
+    "GEO_MAX_PAYLOAD",
+    "GeoMessaging",
+    "GeoRouter",
+    "NetworkStack",
+]

@@ -1,0 +1,86 @@
+"""The acquaintance list: one-hop neighbors learned from beacons.
+
+Paper §2.2: "Agilla provides one-hop neighbor discovery using beacons.  The
+one-hop neighbor information is stored in an acquaintance list and is
+continuously updated."  Agents read it through the ``numnbrs``, ``getnbr``
+and ``randnbr`` instructions (§3.2, context manager).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.addresses import Location
+
+
+@dataclass
+class Acquaintance:
+    mote_id: int
+    location: Location
+    last_heard: int
+
+
+class AcquaintanceList:
+    """A bounded, staleness-evicting table of one-hop neighbors."""
+
+    DEFAULT_CAPACITY = 12
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, timeout: int = 6_000_000):
+        """``timeout`` (µs) defaults to three 2-second beacon periods."""
+        self.capacity = capacity
+        self.timeout = timeout
+        self._entries: dict[int, Acquaintance] = {}
+
+    # ------------------------------------------------------------------
+    def update(self, mote_id: int, location: Location, now: int) -> None:
+        """Record a beacon.  A full table evicts its stalest entry."""
+        entry = self._entries.get(mote_id)
+        if entry is not None:
+            entry.location = location
+            entry.last_heard = now
+            return
+        if len(self._entries) >= self.capacity:
+            stalest = min(self._entries.values(), key=lambda e: e.last_heard)
+            if stalest.last_heard >= now:  # nothing older; drop the beacon
+                return
+            del self._entries[stalest.mote_id]
+        self._entries[mote_id] = Acquaintance(mote_id, location, now)
+
+    def evict_stale(self, now: int) -> None:
+        """Drop neighbors not heard within the timeout."""
+        horizon = now - self.timeout
+        stale = [mid for mid, e in self._entries.items() if e.last_heard < horizon]
+        for mote_id in stale:
+            del self._entries[mote_id]
+
+    # ------------------------------------------------------------------
+    def neighbors(self) -> list[Acquaintance]:
+        """Entries ordered by mote id (deterministic for ``getnbr``)."""
+        return sorted(self._entries.values(), key=lambda e: e.mote_id)
+
+    def count(self) -> int:
+        return len(self._entries)
+
+    def get(self, index: int) -> Acquaintance | None:
+        """The ``index``-th neighbor in id order, or None if out of range."""
+        ordered = self.neighbors()
+        if 0 <= index < len(ordered):
+            return ordered[index]
+        return None
+
+    def random(self, rng: random.Random) -> Acquaintance | None:
+        """A uniformly random neighbor (``randnbr``), or None if empty."""
+        ordered = self.neighbors()
+        if not ordered:
+            return None
+        return ordered[rng.randrange(len(ordered))]
+
+    def locations(self) -> list[Location]:
+        return [entry.location for entry in self.neighbors()]
+
+    def __contains__(self, mote_id: int) -> bool:
+        return mote_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

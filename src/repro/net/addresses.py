@@ -1,0 +1,24 @@
+"""Location-based addressing (re-export of :mod:`repro.location`).
+
+Kept as the canonical import path for network code; the implementation lives
+at top level so hardware modules can import it without touching the network
+package (avoiding an import cycle).
+"""
+
+from repro.location import (
+    BASE_STATION_LOCATION,
+    BROADCAST_ID,
+    INT16_MAX,
+    INT16_MIN,
+    Location,
+    grid_locations,
+)
+
+__all__ = [
+    "BASE_STATION_LOCATION",
+    "BROADCAST_ID",
+    "INT16_MAX",
+    "INT16_MIN",
+    "Location",
+    "grid_locations",
+]

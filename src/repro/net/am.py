@@ -1,0 +1,42 @@
+"""Active Message type registry.
+
+Central list of every AM type used in the reproduction so handler ids can
+never collide.  Grouped per subsystem, mirroring how a TinyOS application
+assigns its message types.
+"""
+
+from __future__ import annotations
+
+# Network services
+AM_BEACON = 0x10  # neighbor-discovery beacons
+AM_GEO = 0x11  # geographically routed unicast container
+
+# Agilla agent migration (hop-by-hop, acknowledged)
+AM_MIGRATE_STATE = 0x21
+AM_MIGRATE_CODE = 0x22
+AM_MIGRATE_HEAP = 0x23
+AM_MIGRATE_STACK = 0x24
+AM_MIGRATE_RXN = 0x25
+AM_MIGRATE_COMMIT = 0x26
+AM_MIGRATE_ACK = 0x27
+AM_MIGRATE_E2E = 0x28  # unacknowledged end-to-end migration (ablation mode)
+
+#: The migration data messages, in transfer order.
+MIGRATION_DATA_TYPES = (
+    AM_MIGRATE_STATE,
+    AM_MIGRATE_CODE,
+    AM_MIGRATE_HEAP,
+    AM_MIGRATE_STACK,
+    AM_MIGRATE_RXN,
+    AM_MIGRATE_COMMIT,
+)
+
+# Geo-routed inner payload kinds (within AM_GEO)
+GEO_REMOTE_TS_REQUEST = 0x01
+GEO_REMOTE_TS_REPLY = 0x02
+GEO_APP_MESSAGE = 0x03
+
+# Mate baseline
+AM_MATE_CAPSULE = 0x30
+AM_MATE_SUMMARY = 0x31
+AM_MATE_REPORT = 0x32

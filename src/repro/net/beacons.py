@@ -1,0 +1,89 @@
+"""Beacon-based one-hop neighbor discovery (paper §2.2, context manager §3.2).
+
+Every node periodically broadcasts its location; receivers record the sender
+in their acquaintance list.  Periods are jittered per node so beacons do not
+synchronize and collide forever.
+"""
+
+from __future__ import annotations
+
+from repro.mote.mote import Mote
+from repro.net import am
+from repro.net.acquaintance import AcquaintanceList
+from repro.net.codec import pack_location, unpack_location
+from repro.net.stack import NetworkStack
+from repro.radio.frame import Frame
+from repro.sim.units import seconds
+
+DEFAULT_PERIOD = seconds(2.0)
+
+
+class BeaconService:
+    """Periodic location beacons feeding the acquaintance list."""
+
+    def __init__(
+        self,
+        mote: Mote,
+        stack: NetworkStack,
+        acquaintances: AcquaintanceList | None = None,
+        period: int = DEFAULT_PERIOD,
+    ):
+        self.mote = mote
+        self.stack = stack
+        self.period = period
+        # Neighbors survive three missed beacons before eviction.
+        self.acquaintances = (
+            acquaintances
+            if acquaintances is not None
+            else AcquaintanceList(timeout=3 * period)
+        )
+        self._rng = mote.sim.rng(f"beacon/{mote.id}")
+        self._timer = mote.new_timer(self._beat)
+        stack.register_handler(am.AM_BEACON, self._on_beacon)
+        mote.memory.allocate(
+            "ContextManager",
+            "acquaintance list",
+            self.acquaintances.capacity * 8,
+        )
+        self.beacons_sent = 0
+
+    # ------------------------------------------------------------------
+    def start(self, immediate: bool = False) -> None:
+        """Begin beaconing.  ``immediate`` also sends one beacon right away
+        (useful to warm up neighbor tables quickly in experiments)."""
+        if immediate:
+            self._transmit()
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    def _schedule_next(self) -> None:
+        # +/-25% jitter desynchronizes the network's beacons.
+        jitter = self._rng.uniform(0.75, 1.25)
+        self._timer.start_one_shot(round(self.period * jitter))
+
+    def _beat(self) -> None:
+        self._transmit()
+        self.acquaintances.evict_stale(self.mote.sim.now)
+        self._schedule_next()
+
+    def _transmit(self) -> None:
+        self.beacons_sent += 1
+        self.stack.broadcast(am.AM_BEACON, pack_location(self.mote.location))
+
+    # ------------------------------------------------------------------
+    def _on_beacon(self, frame: Frame) -> None:
+        location = unpack_location(frame.payload)
+        self.acquaintances.update(frame.src, location, self.mote.sim.now)
+
+    # ------------------------------------------------------------------
+    def prime(self, neighbors: list[tuple[int, "object"]]) -> None:
+        """Pre-load the acquaintance list (skip the discovery warm-up).
+
+        Experiments that measure migration latency, not discovery latency,
+        start from a warmed-up network exactly as the paper's long-running
+        testbed would be.
+        """
+        for mote_id, location in neighbors:
+            self.acquaintances.update(mote_id, location, self.mote.sim.now)

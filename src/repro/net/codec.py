@@ -1,0 +1,46 @@
+"""Low-level wire encoding helpers shared by network and middleware layers.
+
+Everything on the air is little-endian, matching the AVR/TinyOS convention.
+Locations are two signed 16-bit coordinates (4 bytes).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import NetworkError
+from repro.net.addresses import Location
+
+_I16 = struct.Struct("<h")
+_U16 = struct.Struct("<H")
+_LOC = struct.Struct("<hh")
+
+
+def pack_i16(value: int) -> bytes:
+    return _I16.pack(value)
+
+
+def unpack_i16(data: bytes, offset: int = 0) -> int:
+    return _I16.unpack_from(data, offset)[0]
+
+
+def pack_u16(value: int) -> bytes:
+    return _U16.pack(value)
+
+
+def unpack_u16(data: bytes, offset: int = 0) -> int:
+    return _U16.unpack_from(data, offset)[0]
+
+
+def pack_location(location: Location) -> bytes:
+    return _LOC.pack(location.x, location.y)
+
+
+def unpack_location(data: bytes, offset: int = 0) -> Location:
+    if len(data) - offset < 4:
+        raise NetworkError("truncated location field")
+    x, y = _LOC.unpack_from(data, offset)
+    return Location(x, y)
+
+
+LOCATION_SIZE = 4

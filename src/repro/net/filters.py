@@ -1,0 +1,61 @@
+"""Receive-side frame filters.
+
+The paper's testbed put 25 motes on one tabletop — every mote physically
+hears every other — and synthesized the 5×5 multi-hop grid in software:
+"we modified TinyOS's network stack to filter out all messages except those
+from immediate neighbors based on the grid topology" (§4).
+:class:`GridNeighborFilter` is that modification.
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import Location
+from repro.radio.frame import Frame
+
+
+class GridNeighborFilter:
+    """Drop frames not sent by a grid-adjacent node.
+
+    Adjacency is Manhattan distance 1 in grid coordinates.  ``extra_edges``
+    adds explicit adjacencies for special nodes — e.g. the base station at
+    (0,0) is bridged to mote (1,1) even though they are not grid-adjacent.
+
+    The filter needs to know where a frame's sender sits; the network builder
+    provides a shared ``directory`` mapping mote id → grid location.
+    """
+
+    def __init__(
+        self,
+        own_location: Location,
+        directory: dict[int, Location],
+        extra_edges: frozenset[frozenset[Location]] = frozenset(),
+    ):
+        self.own_location = own_location
+        self.directory = directory
+        self.extra_edges = extra_edges
+
+    def neighbor_locations(self) -> list[Location]:
+        """All directory locations this node would accept frames from."""
+        accepted = []
+        for location in self.directory.values():
+            if location == self.own_location:
+                continue
+            if self._adjacent(location):
+                accepted.append(location)
+        return accepted
+
+    def _adjacent(self, sender: Location) -> bool:
+        if sender.manhattan_to(self.own_location) == 1:
+            return True
+        return frozenset((sender, self.own_location)) in self.extra_edges
+
+    def __call__(self, frame: Frame) -> bool:
+        sender = self.directory.get(frame.src)
+        if sender is None:
+            return False  # unknown senders are dropped
+        return self._adjacent(sender)
+
+
+def bridge_edge(a: Location, b: Location) -> frozenset[frozenset[Location]]:
+    """Convenience: a one-pair ``extra_edges`` set (base-station bridge)."""
+    return frozenset({frozenset((a, b))})

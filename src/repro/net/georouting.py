@@ -1,0 +1,173 @@
+"""Greedy geographic routing (paper §4).
+
+"For geographic routing, we implemented a simple best-effort greedy-
+forwarding algorithm that forwards messages to the neighbor closest to the
+destination."  Destinations are locations, not ids (§2.2); a node *is* the
+destination when the target location matches its own within epsilon.
+
+Two pieces live here:
+
+* :class:`GeoRouter` — pure next-hop selection over the acquaintance list.
+* :class:`GeoMessaging` — a unicast container service: multi-hop delivery of
+  small payloads to a location, with per-kind dispatch at the destination.
+  Remote tuple-space operations ride on this (end-to-end, unacknowledged).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.mote.mote import Mote
+from repro.net import am
+from repro.net.acquaintance import AcquaintanceList
+from repro.net.addresses import Location
+from repro.net.codec import pack_location, unpack_location
+from repro.net.stack import NetworkStack
+from repro.radio.frame import Frame, MAX_PAYLOAD
+
+#: Geo header: dest location (4) + origin location (4) + ttl (1) + kind (1).
+GEO_HEADER_SIZE = 10
+
+#: Largest inner payload a geo-routed message can carry.
+GEO_MAX_PAYLOAD = MAX_PAYLOAD - GEO_HEADER_SIZE
+
+DEFAULT_TTL = 16
+
+#: Location-matching tolerance (paper §2.2 allows an error epsilon when
+#: addressing by location).  Grid nodes are ≥1 unit apart, so 0.45 tolerates
+#: localization jitter without ever matching the wrong node.
+DEFAULT_EPSILON = 0.45
+
+
+class GeoRouter:
+    """Greedy next-hop selection toward a destination location."""
+
+    def __init__(
+        self,
+        own_location: Location,
+        acquaintances: AcquaintanceList,
+        epsilon: float = DEFAULT_EPSILON,
+    ):
+        self.own_location = own_location
+        self.acquaintances = acquaintances
+        self.epsilon = epsilon
+
+    def is_self(self, dest: Location) -> bool:
+        return self.own_location.matches(dest, self.epsilon)
+
+    def next_hop(self, dest: Location) -> int | None:
+        """Mote id of the neighbor strictly closest to ``dest``, or None.
+
+        Greedy forwarding requires strict progress; if no neighbor is closer
+        than this node (a routing void) the route fails, best-effort.
+        """
+        own_distance = self.own_location.distance_to(dest)
+        best_id: int | None = None
+        best_distance = own_distance
+        for entry in self.acquaintances.neighbors():
+            distance = entry.location.distance_to(dest)
+            if distance < best_distance:
+                best_distance = distance
+                best_id = entry.mote_id
+        return best_id
+
+
+class GeoMessaging:
+    """Multi-hop location-addressed messaging over greedy forwarding.
+
+    Payload kinds (``am.GEO_*``) multiplex independent services over one AM
+    type.  Delivery is best-effort and unacknowledged, exactly like the remote
+    tuple-space operations in the paper (§3.2); reliability policy belongs to
+    the caller.
+    """
+
+    def __init__(self, mote: Mote, stack: NetworkStack, router: GeoRouter):
+        self.mote = mote
+        self.stack = stack
+        self.router = router
+        self._handlers: dict[int, Callable[[Location, bytes], None]] = {}
+        stack.register_handler(am.AM_GEO, self._on_frame)
+        mote.memory.allocate("GeoRouting", "forwarding buffer", 36)
+        # Statistics.
+        self.originated = 0
+        self.forwarded = 0
+        self.delivered = 0
+        self.no_route_drops = 0
+        self.ttl_drops = 0
+
+    # ------------------------------------------------------------------
+    def register_kind(
+        self, kind: int, handler: Callable[[Location, bytes], None]
+    ) -> None:
+        """Install the destination-side handler for a payload kind.
+
+        The handler receives ``(origin_location, inner_payload)``.
+        """
+        if kind in self._handlers:
+            raise NetworkError(f"geo kind 0x{kind:02x} already registered")
+        self._handlers[kind] = handler
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dest: Location,
+        kind: int,
+        payload: bytes,
+        ttl: int = DEFAULT_TTL,
+    ) -> bool:
+        """Route ``payload`` toward ``dest``.  Returns False when unroutable.
+
+        A destination matching this node's own location is delivered locally
+        (loopback), mirroring a remote tuple-space op aimed at one's host.
+        """
+        if len(payload) > GEO_MAX_PAYLOAD:
+            raise NetworkError(
+                f"geo payload of {len(payload)} B exceeds {GEO_MAX_PAYLOAD} B"
+            )
+        self.originated += 1
+        if self.router.is_self(dest):
+            self._dispatch(kind, self.mote.location, payload)
+            return True
+        return self._forward(dest, self.mote.location, kind, payload, ttl)
+
+    def _forward(
+        self, dest: Location, origin: Location, kind: int, payload: bytes, ttl: int
+    ) -> bool:
+        if ttl <= 0:
+            self.ttl_drops += 1
+            return False
+        hop = self.router.next_hop(dest)
+        if hop is None:
+            self.no_route_drops += 1
+            return False
+        packet = (
+            pack_location(dest)
+            + pack_location(origin)
+            + bytes([ttl & 0xFF, kind & 0xFF])
+            + payload
+        )
+        return self.stack.send(hop, am.AM_GEO, packet)
+
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: Frame) -> None:
+        data = frame.payload
+        if len(data) < GEO_HEADER_SIZE:
+            return
+        dest = unpack_location(data, 0)
+        origin = unpack_location(data, 4)
+        ttl = data[8]
+        kind = data[9]
+        payload = data[GEO_HEADER_SIZE:]
+        if self.router.is_self(dest):
+            self._dispatch(kind, origin, payload)
+            return
+        self.forwarded += 1
+        self._forward(dest, origin, kind, payload, ttl - 1)
+
+    def _dispatch(self, kind: int, origin: Location, payload: bytes) -> None:
+        handler = self._handlers.get(kind)
+        if handler is None:
+            return
+        self.delivered += 1
+        handler(origin, payload)

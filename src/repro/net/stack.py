@@ -1,0 +1,130 @@
+"""Per-mote network stack: Active-Message dispatch, send queue, filters.
+
+Mirrors the TinyOS ``GenericComm`` layer the paper built on: frames carry an
+AM type that selects a receive handler, sends are serialized through a small
+static queue, and — crucially for the reproduction — *receive filters* can
+drop frames before dispatch.  The paper synthesized its 5×5 multi-hop grid by
+"[modifying] TinyOS's network stack to filter out all messages except those
+from immediate neighbors based on the grid topology" (§4); that filter lives
+in :mod:`repro.net.filters` and plugs in here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.mote.mote import Mote
+from repro.net.addresses import BROADCAST_ID
+from repro.radio.channel import Radio
+from repro.radio.frame import Frame
+
+#: TinyOS-sized send queue (frames waiting for the radio).
+SEND_QUEUE_DEPTH = 8
+
+#: CPU cost of handing a received frame up through the stack.
+RX_DISPATCH_CYCLES = 260
+
+
+class NetworkStack:
+    """Link-level messaging for one mote."""
+
+    def __init__(self, mote: Mote, radio: Radio):
+        if radio.mote is not mote:
+            raise NetworkError("radio belongs to a different mote")
+        self.mote = mote
+        self.radio = radio
+        radio.set_receive_callback(self._on_frame)
+        self._handlers: dict[int, Callable[[Frame], None]] = {}
+        self._filters: list[Callable[[Frame], bool]] = []
+        self._queue: deque[tuple[Frame, Callable[[bool], None] | None]] = deque()
+        self._sending = False
+        # RAM the real component would declare statically.
+        mote.memory.allocate("NetworkStack", "send queue", SEND_QUEUE_DEPTH * 36)
+        mote.memory.allocate("NetworkStack", "rx buffer", 36)
+        # Statistics.
+        self.sent = 0
+        self.received = 0
+        self.dropped_by_filter = 0
+        self.queue_overflows = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def register_handler(self, am_type: int, handler: Callable[[Frame], None]) -> None:
+        """Install the receive handler for an AM type (one per type)."""
+        if am_type in self._handlers:
+            raise NetworkError(f"handler for AM type 0x{am_type:02x} already set")
+        self._handlers[am_type] = handler
+
+    def install_filter(self, frame_filter: Callable[[Frame], bool]) -> None:
+        """Add a receive filter; returning False drops the frame."""
+        self._filters.append(frame_filter)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dest: int,
+        am_type: int,
+        payload: bytes,
+        on_done: Callable[[bool], None] | None = None,
+    ) -> bool:
+        """Queue a unicast frame.  Returns False if the queue is full.
+
+        ``on_done(sent)`` fires when the radio finishes (or the send is
+        rejected); link-layer success does *not* imply reception — upper
+        layers provide their own acknowledgements, as Agilla does.
+        """
+        frame = Frame(self.mote.id, dest, am_type, payload)
+        if len(self._queue) >= SEND_QUEUE_DEPTH:
+            self.queue_overflows += 1
+            if on_done is not None:
+                self.mote.sim.call_now(on_done, False)
+            return False
+        self._queue.append((frame, on_done))
+        self._pump()
+        return True
+
+    def broadcast(
+        self,
+        am_type: int,
+        payload: bytes,
+        on_done: Callable[[bool], None] | None = None,
+    ) -> bool:
+        """Queue a link-layer broadcast frame."""
+        return self.send(BROADCAST_ID, am_type, payload, on_done)
+
+    def _pump(self) -> None:
+        if self._sending or not self._queue:
+            return
+        self._sending = True
+        frame, on_done = self._queue.popleft()
+        self.radio.send(frame, lambda sent: self._send_done(sent, on_done))
+
+    def _send_done(self, sent: bool, on_done: Callable[[bool], None] | None) -> None:
+        self._sending = False
+        if sent:
+            self.sent += 1
+        if on_done is not None:
+            on_done(sent)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: Frame) -> None:
+        if not frame.is_broadcast and frame.dest != self.mote.id:
+            return  # addressed to someone else
+        for frame_filter in self._filters:
+            if not frame_filter(frame):
+                self.dropped_by_filter += 1
+                return
+        handler = self._handlers.get(frame.am_type)
+        if handler is None:
+            return
+        self.received += 1
+        # Reception is dispatched as a TinyOS task on the mote's CPU.
+        self.mote.tasks.post(RX_DISPATCH_CYCLES, handler, frame)

@@ -1,0 +1,252 @@
+"""Network builder: the paper's testbed in one call.
+
+:class:`GridNetwork` reproduces the experimental setup of §4: a 5×5 grid of
+MICA2 motes (lower-left at (1,1)) on a shared tabletop radio channel, with
+multi-hop synthesized by the software grid filter, plus a base station at
+(0,0) bridged to mote (1,1) from which agents are injected (Figure 8 injects
+into node (0,0); five hops along the bottom row reaches (5,1)).
+
+An optional *physical* mode spaces the motes out for real and drops the
+filter — an extension for studying the same protocols over distance-dependent
+links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.agilla.agent import Agent
+from repro.agilla.assembler import Program
+from repro.agilla.middleware import AgillaMiddleware
+from repro.agilla.params import AgillaParams
+from repro.location import BASE_STATION_LOCATION, Location, grid_locations
+from repro.mote.environment import Environment
+from repro.mote.mote import Mote
+from repro.net.beacons import BeaconService
+from repro.net.filters import GridNeighborFilter, bridge_edge
+from repro.net.georouting import GeoMessaging, GeoRouter
+from repro.net.stack import NetworkStack
+from repro.radio.channel import Channel
+from repro.radio.linkmodels import DistancePrrLinks, LinkModel, UniformLossLinks
+from repro.sim.kernel import Simulator
+from repro.sim.units import ms, seconds
+
+
+@dataclass
+class Node:
+    """Everything attached to one grid position."""
+
+    mote: Mote
+    stack: NetworkStack
+    beacons: BeaconService
+    router: GeoRouter
+    geo: GeoMessaging
+    middleware: AgillaMiddleware
+
+    @property
+    def location(self) -> Location:
+        return self.mote.location
+
+
+class GridNetwork:
+    """A deployed Agilla sensor network."""
+
+    def __init__(
+        self,
+        width: int = 5,
+        height: int = 5,
+        seed: int = 0,
+        link_model: LinkModel | None = None,
+        params: AgillaParams | None = None,
+        environment: Environment | None = None,
+        base_station: bool = True,
+        beacons: bool = True,
+        beacon_period: int = seconds(10.0),
+        physical: bool = False,
+        physical_spacing_m: float = 30.0,
+    ):
+        self.width = width
+        self.height = height
+        self.sim = Simulator(seed=seed)
+        self.params = params if params is not None else AgillaParams()
+        self.environment = environment if environment is not None else Environment()
+        self.physical = physical
+        if link_model is None:
+            link_model = DistancePrrLinks() if physical else UniformLossLinks()
+        spacing = physical_spacing_m if physical else 0.3
+        self.channel = Channel(self.sim, link_model, grid_spacing_m=spacing)
+        self.nodes: dict[Location, Node] = {}
+        self._beacons_enabled = beacons
+        self._beacon_period = beacon_period
+
+        locations = list(grid_locations(width, height))
+        if base_station:
+            locations = [BASE_STATION_LOCATION] + locations
+        directory: dict[int, Location] = {}
+        for location in locations:
+            directory[self._mote_id(location)] = location
+        extra_edges = (
+            bridge_edge(BASE_STATION_LOCATION, Location(1, 1))
+            if base_station
+            else frozenset()
+        )
+
+        for location in locations:
+            self._build_node(location, directory, extra_edges)
+        self._prime_neighbors(directory, extra_edges)
+        if beacons:
+            for node in self.nodes.values():
+                node.beacons.start()
+        for node in self.nodes.values():
+            node.middleware.boot()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _mote_id(self, location: Location) -> int:
+        if location == BASE_STATION_LOCATION:
+            return 0
+        return location.x + (location.y - 1) * self.width
+
+    def _build_node(
+        self,
+        location: Location,
+        directory: dict[int, Location],
+        extra_edges: frozenset,
+    ) -> None:
+        mote = Mote(self.sim, self._mote_id(location), location, self.environment)
+        radio = self.channel.attach(mote)
+        stack = NetworkStack(mote, radio)
+        if not self.physical:
+            stack.install_filter(GridNeighborFilter(location, directory, extra_edges))
+        beacons = BeaconService(mote, stack, period=self._beacon_period)
+        router = GeoRouter(
+            location, beacons.acquaintances, epsilon=self.params.location_epsilon
+        )
+        geo = GeoMessaging(mote, stack, router)
+        middleware = AgillaMiddleware(mote, stack, beacons, geo, self.params)
+        self.nodes[location] = Node(mote, stack, beacons, router, geo, middleware)
+
+    def _prime_neighbors(
+        self, directory: dict[int, Location], extra_edges: frozenset
+    ) -> None:
+        """Warm up every acquaintance list (a long-deployed network)."""
+        for location, node in self.nodes.items():
+            neighbors = []
+            for other_id, other_location in directory.items():
+                if other_location == location:
+                    continue
+                adjacent = other_location.manhattan_to(location) == 1
+                bridged = frozenset((other_location, location)) in extra_edges
+                if self.physical:
+                    adjacent = (
+                        self.channel.link_model.in_range(
+                            self._position(other_location), self._position(location)
+                        )
+                        and other_location.distance_to(location) <= 1.5
+                    )
+                if adjacent or bridged:
+                    neighbors.append((other_id, other_location))
+            node.beacons.prime(neighbors)
+
+    def _position(self, location: Location) -> tuple[float, float]:
+        return (
+            location.x * self.channel.grid_spacing_m,
+            location.y * self.channel.grid_spacing_m,
+        )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def node(self, location: Location | tuple[int, int]) -> Node:
+        if isinstance(location, tuple):
+            location = Location(*location)
+        return self.nodes[location]
+
+    def middleware(self, location: Location | tuple[int, int]) -> AgillaMiddleware:
+        return self.node(location).middleware
+
+    @property
+    def base_station(self) -> Node:
+        return self.nodes[BASE_STATION_LOCATION]
+
+    def all_nodes(self) -> Iterable[Node]:
+        return self.nodes.values()
+
+    def grid_nodes(self) -> Iterable[Node]:
+        """All nodes except the base station."""
+        for location, node in self.nodes.items():
+            if location != BASE_STATION_LOCATION:
+                yield node
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float) -> None:
+        """Advance the network by ``duration_s`` simulated seconds."""
+        self.sim.run(duration=seconds(duration_s))
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout_s: float,
+        step_ms: float = 20.0,
+    ) -> bool:
+        """Run until ``predicate()`` holds; False if the timeout elapsed."""
+        deadline = self.sim.now + seconds(timeout_s)
+        while not predicate():
+            if self.sim.now >= deadline:
+                return False
+            self.sim.run(duration=min(ms(step_ms), deadline - self.sim.now))
+        return True
+
+    # ------------------------------------------------------------------
+    # Agent operations
+    # ------------------------------------------------------------------
+    def inject(
+        self, program: Program, at: Location | tuple[int, int] = (0, 0)
+    ) -> Agent:
+        """Inject an agent at a node (default: the base station)."""
+        return self.middleware(at).inject(program)
+
+    def agents_at(self, location: Location | tuple[int, int]) -> list[Agent]:
+        return self.middleware(location).agents()
+
+    def find_agents(self, name: str) -> list[tuple[Location, Agent]]:
+        """All living agents whose name/species starts with ``name``'s tag."""
+        found = []
+        for location, node in sorted(self.nodes.items()):
+            for agent in node.middleware.agents():
+                if agent.name.startswith(name[:3]):
+                    found.append((location, agent))
+        return found
+
+    def tuples_at(self, location: Location | tuple[int, int]):
+        return self.middleware(location).tuples()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def radio_messages(self) -> int:
+        """Total frames put on the air so far."""
+        return self.channel.frames_transmitted
+
+    def radio_bytes(self) -> int:
+        return sum(radio.bytes_sent for radio in self.channel.radios)
+
+    def total_agents(self) -> int:
+        return sum(len(node.middleware.agent_manager.agents) for node in self.all_nodes())
+
+    def migrations_in_flight(self) -> bool:
+        """True while any node is sending, relaying, or receiving an agent."""
+        return any(node.middleware.migration.busy for node in self.all_nodes())
+
+    def quiescent(self) -> bool:
+        """No resident agents and no agents in flight anywhere."""
+        return self.total_agents() == 0 and not self.migrations_in_flight()
+
+
+def build_grid_network(**kwargs) -> GridNetwork:
+    """Convenience alias mirroring the README quickstart."""
+    return GridNetwork(**kwargs)

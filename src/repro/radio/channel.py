@@ -1,0 +1,261 @@
+"""The shared wireless medium: CSMA radios, airtime, loss and collisions.
+
+All attached radios share one broadcast channel, like the paper's tabletop
+testbed where every mote hears every other.  Each :class:`Radio` implements a
+TinyOS-style CSMA MAC: random initial backoff, carrier sense, congestion
+backoff, then transmission.  A frame occupies the medium for its serialized
+length divided by the effective bitrate (CC1000: 38.4 kbaud Manchester ⇒
+19.2 kbps of data).
+
+Reception is decided per receiver at end-of-frame:
+
+* the receiver must be attached, enabled, in range and not transmitting;
+* any *other* transmission audible at the receiver overlapping this frame
+  corrupts it (collision);
+* otherwise an independent Bernoulli draw with the link's PRR (optionally
+  overridden per mote pair for failure injection) decides delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import RadioError
+from repro.mote.mote import Mote
+from repro.radio.frame import Frame
+from repro.radio.linkmodels import LinkModel, Position, UniformLossLinks
+from repro.sim.kernel import Simulator
+
+#: CC1000 effective data rate after Manchester encoding (bits/second).
+EFFECTIVE_BITRATE = 19_200
+
+
+@dataclass
+class MacParams:
+    """CSMA timing (microseconds), mirroring the TinyOS CC1000 stack."""
+
+    initial_backoff: tuple[int, int] = (400, 12_800)
+    congestion_backoff: tuple[int, int] = (800, 25_600)
+    max_attempts: int = 16
+
+
+@dataclass
+class Transmission:
+    radio: "Radio"
+    frame: Frame
+    start: int
+    end: int
+
+
+class Radio:
+    """One mote's CC1000 transceiver with a CSMA MAC."""
+
+    def __init__(self, channel: "Channel", mote: Mote, position: Position):
+        self.channel = channel
+        self.mote = mote
+        self.position = position
+        self.enabled = True
+        self._receive_callback: Callable[[Frame], None] | None = None
+        self._current_tx: Transmission | None = None
+        self._send_pending = False
+        # Statistics used by the benchmarks.
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def sim(self) -> Simulator:
+        return self.channel.sim
+
+    def set_receive_callback(self, callback: Callable[[Frame], None]) -> None:
+        """Install the link-layer receive handler (one per radio)."""
+        self._receive_callback = callback
+
+    @property
+    def sending(self) -> bool:
+        return self._send_pending
+
+    def send(self, frame: Frame, on_done: Callable[[bool], None] | None = None) -> None:
+        """Transmit one frame via CSMA; ``on_done(sent)`` fires at TX end.
+
+        ``sent=False`` means the MAC gave up after exhausting congestion
+        backoffs (or the radio is disabled).  Only one send may be in flight;
+        the network stack supplies queueing.
+        """
+        if self._send_pending:
+            raise RadioError(f"radio {self.mote.id} already has a send in flight")
+        if not self.enabled:
+            if on_done is not None:
+                self.sim.call_now(on_done, False)
+            return
+        self._send_pending = True
+        self._attempt_send(frame, on_done, attempt=0, backoff=self.channel.mac.initial_backoff)
+
+    def _attempt_send(
+        self,
+        frame: Frame,
+        on_done: Callable[[bool], None] | None,
+        attempt: int,
+        backoff: tuple[int, int],
+    ) -> None:
+        delay = self.channel.rng.randint(*backoff)
+        self.sim.schedule(delay, self._carrier_sense, frame, on_done, attempt)
+
+    def _carrier_sense(
+        self, frame: Frame, on_done: Callable[[bool], None] | None, attempt: int
+    ) -> None:
+        if not self.enabled:
+            self._finish_send(on_done, False)
+            return
+        if self.channel.busy_for(self):
+            if attempt + 1 >= self.channel.mac.max_attempts:
+                self.channel.mac_giveups += 1
+                self._finish_send(on_done, False)
+                return
+            self._attempt_send(
+                frame, on_done, attempt + 1, self.channel.mac.congestion_backoff
+            )
+            return
+        self._begin_tx(frame, on_done)
+
+    def _begin_tx(self, frame: Frame, on_done: Callable[[bool], None] | None) -> None:
+        airtime = self.channel.airtime_us(frame)
+        tx = Transmission(self, frame, self.sim.now, self.sim.now + airtime)
+        self._current_tx = tx
+        self.frames_sent += 1
+        self.bytes_sent += frame.air_bytes
+        self.channel.begin_transmission(tx)
+        self.sim.schedule_at(tx.end, self._end_tx, tx, on_done)
+
+    def _end_tx(self, tx: Transmission, on_done: Callable[[bool], None] | None) -> None:
+        self._current_tx = None
+        self.channel.end_transmission(tx)
+        self._finish_send(on_done, True)
+
+    def _finish_send(self, on_done: Callable[[bool], None] | None, sent: bool) -> None:
+        self._send_pending = False
+        if on_done is not None:
+            on_done(sent)
+
+    # ------------------------------------------------------------------
+    def transmitting_during(self, start: int, end: int) -> bool:
+        """Half-duplex check: was this radio transmitting in [start, end)?"""
+        tx = self._current_tx
+        return tx is not None and tx.start < end and tx.end > start
+
+    def deliver(self, frame: Frame) -> None:
+        """Hand a successfully received frame to the link-layer handler."""
+        self.frames_received += 1
+        if self._receive_callback is not None:
+            self._receive_callback(frame)
+
+
+class Channel:
+    """The broadcast medium shared by all attached radios."""
+
+    #: Transmissions older than this are irrelevant for overlap checks.
+    _PRUNE_AGE_US = 1_000_000
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link_model: LinkModel | None = None,
+        bitrate: int = EFFECTIVE_BITRATE,
+        mac: MacParams | None = None,
+        grid_spacing_m: float = 0.3,
+    ):
+        self.sim = sim
+        self.link_model = link_model if link_model is not None else UniformLossLinks()
+        self.bitrate = bitrate
+        self.mac = mac if mac is not None else MacParams()
+        #: Physical meters per grid unit.  The paper's testbed is a tabletop:
+        #: motes centimeters apart, all within radio range of each other.
+        self.grid_spacing_m = grid_spacing_m
+        self.rng = sim.rng("channel")
+        self._radios: dict[int, Radio] = {}
+        self._transmissions: list[Transmission] = []
+        #: Per (src mote id, dst mote id) PRR override for failure injection.
+        self.prr_overrides: dict[tuple[int, int], float] = {}
+        # Statistics.
+        self.frames_transmitted = 0
+        self.collisions = 0
+        self.prr_drops = 0
+        self.mac_giveups = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, mote: Mote, position: Position | None = None) -> Radio:
+        """Attach a mote's radio, defaulting its physical position to its
+        grid location scaled by ``grid_spacing_m``."""
+        if mote.id in self._radios:
+            raise RadioError(f"mote id {mote.id} already attached")
+        if position is None:
+            position = (
+                mote.location.x * self.grid_spacing_m,
+                mote.location.y * self.grid_spacing_m,
+            )
+        radio = Radio(self, mote, position)
+        self._radios[mote.id] = radio
+        mote.radio = radio
+        return radio
+
+    def radio_for(self, mote_id: int) -> Radio | None:
+        return self._radios.get(mote_id)
+
+    @property
+    def radios(self) -> list[Radio]:
+        return list(self._radios.values())
+
+    def airtime_us(self, frame: Frame) -> int:
+        """Microseconds the frame occupies the medium."""
+        return round(frame.air_bytes * 8 * 1_000_000 / self.bitrate)
+
+    # ------------------------------------------------------------------
+    def busy_for(self, radio: Radio) -> bool:
+        """Carrier sense: is any audible transmission in progress?"""
+        now = self.sim.now
+        for tx in self._transmissions:
+            if tx.start <= now < tx.end and tx.radio is not radio:
+                if self.link_model.in_range(tx.radio.position, radio.position):
+                    return True
+        return False
+
+    def begin_transmission(self, tx: Transmission) -> None:
+        self._prune(tx.start)
+        self._transmissions.append(tx)
+        self.frames_transmitted += 1
+
+    def end_transmission(self, tx: Transmission) -> None:
+        """Frame finished: decide reception independently per receiver."""
+        for radio in self._radios.values():
+            if radio is tx.radio or not radio.enabled:
+                continue
+            if not self.link_model.in_range(tx.radio.position, radio.position):
+                continue
+            if radio.transmitting_during(tx.start, tx.end):
+                continue  # half-duplex: was busy sending
+            if self._collided(tx, radio):
+                self.collisions += 1
+                continue
+            prr = self.prr_overrides.get(
+                (tx.radio.mote.id, radio.mote.id),
+                self.link_model.prr(tx.radio.position, radio.position),
+            )
+            if self.rng.random() >= prr:
+                self.prr_drops += 1
+                continue
+            radio.deliver(tx.frame)
+
+    def _collided(self, tx: Transmission, receiver: Radio) -> bool:
+        for other in self._transmissions:
+            if other is tx or other.radio is tx.radio:
+                continue
+            if other.start < tx.end and other.end > tx.start:
+                if self.link_model.in_range(other.radio.position, receiver.position):
+                    return True
+        return False
+
+    def _prune(self, now: int) -> None:
+        horizon = now - self._PRUNE_AGE_US
+        self._transmissions = [t for t in self._transmissions if t.end >= horizon]

@@ -1,0 +1,60 @@
+"""Link-layer frames (TinyOS Active Messages over the CC1000).
+
+A TinyOS message carries at most a 27-byte payload (paper §3.2: "This ensures
+a tuple can fit within the 27 byte payload of a single TinyOS message").  On
+air a frame additionally pays preamble, sync, header and CRC bytes, which is
+what the latency benchmarks feel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RadioError
+from repro.net.addresses import BROADCAST_ID
+
+#: Maximum Active Message payload in bytes.
+MAX_PAYLOAD = 27
+
+#: Physical-layer overhead per frame: 18 B preamble + 2 B sync + 5 B header
+#: (dest, AM type, group, length) + 2 B CRC + 2 B dest address.  29 bytes
+#: total, matching the CC1000 stack's on-air cost for a MICA2 packet.
+FRAME_OVERHEAD_BYTES = 29
+
+
+@dataclass
+class Frame:
+    """One on-air frame.
+
+    ``src``/``dest`` are mote ids (``dest`` may be :data:`BROADCAST_ID`);
+    ``am_type`` selects the handler in the receiving network stack, exactly
+    like a TinyOS Active Message type.
+    """
+
+    src: int
+    dest: int
+    am_type: int
+    payload: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > MAX_PAYLOAD:
+            raise RadioError(
+                f"payload of {len(self.payload)} B exceeds the "
+                f"{MAX_PAYLOAD} B TinyOS limit"
+            )
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dest == BROADCAST_ID
+
+    @property
+    def air_bytes(self) -> int:
+        """Total bytes serialized on air, including physical overhead."""
+        return len(self.payload) + FRAME_OVERHEAD_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dest = "BCAST" if self.is_broadcast else str(self.dest)
+        return (
+            f"<Frame {self.src}->{dest} am=0x{self.am_type:02x} "
+            f"len={len(self.payload)}>"
+        )

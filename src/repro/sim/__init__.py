@@ -1,0 +1,16 @@
+"""Discrete-event simulation substrate (clock, events, random streams)."""
+
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.units import US_PER_MS, US_PER_S, ms, seconds, to_ms, to_seconds, us
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "US_PER_MS",
+    "US_PER_S",
+    "ms",
+    "seconds",
+    "to_ms",
+    "to_seconds",
+    "us",
+]

@@ -1,0 +1,202 @@
+"""Discrete-event simulation kernel.
+
+A single :class:`Simulator` instance drives an entire sensor network.  The
+clock is an integer count of microseconds; events scheduled for the same tick
+fire in insertion order, which together with named, seed-derived random
+streams makes every run bit-for-bit reproducible.
+
+The kernel is deliberately minimal: just a cancellable event queue plus RNG
+management.  Node-local execution semantics (run-to-completion tasks on one
+slow CPU) live in :mod:`repro.tinyos` and :mod:`repro.mote`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.units import US_PER_S
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires."""
+
+    __slots__ = ("time", "_seq", "_fn", "_args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self._seq = seq
+        self._fn = fn
+        self._args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (safe to call repeatedly)."""
+        self.cancelled = True
+        # Drop references so cancelled events pinned in the heap don't keep
+        # large object graphs (agents, frames) alive.
+        self._fn = _noop
+        self._args = ()
+
+    def fire(self) -> None:
+        self._fn(*self._args)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self._seq) < (other.time, other._seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time} {state}>"
+
+
+def _noop() -> None:
+    return None
+
+
+class Simulator:
+    """Event queue, clock, and reproducible random streams.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Every named stream obtained through :meth:`rng` is
+        derived deterministically from this seed and the stream name, so
+        adding a new consumer of randomness never perturbs existing ones.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._now = 0
+        self._seq = 0
+        self._queue: list[EventHandle] = []
+        self._rngs: dict[str, random.Random] = {}
+        self._running = False
+        self._stopped = False
+        self.events_fired = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in integer microseconds."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in seconds (for reporting)."""
+        return self._now / US_PER_S
+
+    # ------------------------------------------------------------------
+    # Random streams
+    # ------------------------------------------------------------------
+    def rng(self, name: str) -> random.Random:
+        """Return the named random stream, creating it on first use."""
+        stream = self._rngs.get(name)
+        if stream is None:
+            stream = random.Random(f"{self.seed}/{name}")
+            self._rngs[name] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute tick ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (now={self._now}, requested={time})"
+            )
+        handle = EventHandle(int(time), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + int(delay), fn, *args)
+
+    def call_now(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at the current tick (after pending peers)."""
+        return self.schedule_at(self._now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_fired += 1
+            event.fire()
+            return True
+        return False
+
+    def run(
+        self,
+        duration: int | None = None,
+        *,
+        until: int | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Run events in time order.
+
+        ``duration`` limits how far the clock may advance past the current
+        time; ``until`` gives an absolute deadline; ``max_events`` bounds the
+        number of callbacks (a safety valve for tests).  With no limits, runs
+        until the event queue drains or :meth:`stop` is called.  The clock is
+        advanced to the deadline even if the queue drains earlier, so back-to-
+        back ``run`` calls see consistent time.
+        """
+        if duration is not None and until is not None:
+            raise SimulationError("pass either duration or until, not both")
+        deadline = None
+        if duration is not None:
+            deadline = self._now + int(duration)
+        elif until is not None:
+            deadline = int(until)
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._queue and not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    return
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if deadline is not None and head.time > deadline:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+            if deadline is not None and not self._stopped and self._now < deadline:
+                self._now = deadline
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        self.run(max_events=max_events)
+
+    def stop(self) -> None:
+        """Stop a ``run`` in progress after the current event returns."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now}us queue={len(self._queue)}>"

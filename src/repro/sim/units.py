@@ -1,0 +1,36 @@
+"""Time-unit helpers.
+
+The simulation clock is an integer number of **microseconds**.  Integer time
+makes event ordering exact and runs reproducible; these helpers keep call
+sites readable (``seconds(2)`` instead of ``2_000_000``).
+"""
+
+from __future__ import annotations
+
+US_PER_MS = 1_000
+US_PER_S = 1_000_000
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer microseconds (rounded to nearest)."""
+    return round(value * US_PER_S)
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer microseconds (rounded to nearest)."""
+    return round(value * US_PER_MS)
+
+
+def us(value: float) -> int:
+    """Round a microsecond quantity to an integer tick."""
+    return round(value)
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert integer microseconds back to float seconds."""
+    return ticks / US_PER_S
+
+
+def to_ms(ticks: int) -> float:
+    """Convert integer microseconds back to float milliseconds."""
+    return ticks / US_PER_MS

@@ -1,0 +1,6 @@
+"""TinyOS-like substrate: run-to-completion tasks and timers."""
+
+from repro.tinyos.tasks import Cpu, TaskQueue
+from repro.tinyos.timer import Timer
+
+__all__ = ["Cpu", "TaskQueue", "Timer"]

@@ -1,0 +1,59 @@
+"""TinyOS-style timers (one-shot and periodic) over the event kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.kernel import EventHandle, Simulator
+
+
+class Timer:
+    """A restartable timer delivering callbacks through the simulator.
+
+    Mirrors TinyOS's ``Timer`` interface: ``start_one_shot``,
+    ``start_periodic``, ``stop``.  A timer holds at most one pending firing;
+    restarting cancels the previous schedule.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]):
+        self.sim = sim
+        self.callback = callback
+        self._pending: EventHandle | None = None
+        self._period: int | None = None
+        self.fired_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._pending is not None and not self._pending.cancelled
+
+    def start_one_shot(self, delay: int) -> None:
+        """Fire once after ``delay`` microseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative timer delay: {delay}")
+        self.stop()
+        self._period = None
+        self._pending = self.sim.schedule(delay, self._fire)
+
+    def start_periodic(self, period: int) -> None:
+        """Fire every ``period`` microseconds until stopped."""
+        if period <= 0:
+            raise SimulationError(f"non-positive timer period: {period}")
+        self.stop()
+        self._period = int(period)
+        self._pending = self.sim.schedule(self._period, self._fire)
+
+    def stop(self) -> None:
+        """Cancel any pending firing."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    # ------------------------------------------------------------------
+    def _fire(self) -> None:
+        self._pending = None
+        self.fired_count += 1
+        if self._period is not None:
+            self._pending = self.sim.schedule(self._period, self._fire)
+        self.callback()

@@ -1,0 +1,113 @@
+"""Unit tests for tagged fields, packed strings, and matching rules."""
+
+import pytest
+
+from repro.agilla.fields import (
+    AgentIdField,
+    FieldType,
+    LocationField,
+    Reading,
+    ReadingWildcard,
+    StringField,
+    TypeWildcard,
+    Value,
+    decode_field,
+    field_matches,
+    is_numeric,
+    is_wildcard,
+    pack_string,
+    unpack_string,
+)
+from repro.errors import TupleSpaceError
+from repro.location import Location
+from repro.mote.sensors import TEMPERATURE
+
+
+class TestPackedStrings:
+    def test_round_trip(self):
+        for text in ("fir", "a", "ab", "agt", "x_z", "a-b", "!?."):
+            assert unpack_string(pack_string(text)) == text
+
+    def test_packed_into_two_bytes(self):
+        assert len(pack_string("fir")) == 2
+
+    def test_too_long_rejected(self):
+        with pytest.raises(TupleSpaceError):
+            pack_string("fire")
+
+    def test_bad_characters_rejected(self):
+        with pytest.raises(TupleSpaceError):
+            pack_string("AB")
+        with pytest.raises(TupleSpaceError):
+            pack_string("a1")
+
+    def test_empty_string(self):
+        assert unpack_string(pack_string("")) == ""
+
+
+class TestFieldEncoding:
+    CASES = [
+        Value(0),
+        Value(-32768),
+        Value(32767),
+        AgentIdField(0xBEEF),
+        StringField("fir"),
+        LocationField(Location(5, 1)),
+        LocationField(Location(-3, 7)),
+        Reading(TEMPERATURE, 321),
+        TypeWildcard(FieldType.LOCATION),
+        ReadingWildcard(TEMPERATURE),
+    ]
+
+    @pytest.mark.parametrize("field", CASES, ids=lambda f: str(f))
+    def test_round_trip(self, field):
+        encoded = field.encode()
+        decoded, consumed = decode_field(encoded)
+        assert decoded == field
+        assert consumed == len(encoded) == field.wire_size
+
+    def test_wire_sizes(self):
+        assert Value(1).wire_size == 3
+        assert StringField("fir").wire_size == 3
+        assert LocationField(Location(1, 1)).wire_size == 5
+        assert Reading(1, 2).wire_size == 4
+        assert TypeWildcard(FieldType.VALUE).wire_size == 2
+
+    def test_value_range_checked(self):
+        with pytest.raises(TupleSpaceError):
+            Value(40000)
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(TupleSpaceError):
+            decode_field(b"\xff\x00\x00")
+        with pytest.raises(TupleSpaceError):
+            decode_field(b"")
+
+
+class TestMatching:
+    def test_concrete_fields_match_by_equality(self):
+        assert field_matches(Value(5), Value(5))
+        assert not field_matches(Value(5), Value(6))
+        assert not field_matches(Value(5), StringField("abc"))
+
+    def test_type_wildcard_matches_by_type(self):
+        wildcard = TypeWildcard(FieldType.LOCATION)
+        assert field_matches(wildcard, LocationField(Location(9, 9)))
+        assert not field_matches(wildcard, Value(1))
+
+    def test_reading_wildcard_matches_sensor_type(self):
+        wildcard = ReadingWildcard(TEMPERATURE)
+        assert field_matches(wildcard, Reading(TEMPERATURE, 77))
+        assert not field_matches(wildcard, Reading(TEMPERATURE + 1, 77))
+        assert not field_matches(wildcard, Value(77))
+
+    def test_wildcard_predicates(self):
+        assert is_wildcard(TypeWildcard(FieldType.VALUE))
+        assert is_wildcard(ReadingWildcard(1))
+        assert not is_wildcard(Value(1))
+
+    def test_numeric_predicates(self):
+        assert is_numeric(Value(1))
+        assert is_numeric(Reading(1, 5))
+        assert not is_numeric(StringField("abc"))
+        assert Reading(1, 5).numeric() == 5

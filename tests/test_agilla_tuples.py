@@ -1,0 +1,225 @@
+"""Unit tests for tuples, templates, the tuple space, and reactions."""
+
+import pytest
+
+from repro.agilla.fields import (
+    FieldType,
+    LocationField,
+    StringField,
+    TypeWildcard,
+    Value,
+)
+from repro.agilla.reactions import Reaction, ReactionRegistry
+from repro.agilla.tuples import AgillaTuple, make_template, make_tuple
+from repro.agilla.tuplespace import TupleSpace
+from repro.errors import (
+    ReactionRegistryFullError,
+    TupleSpaceError,
+    TupleSpaceFullError,
+    TupleTooLargeError,
+)
+from repro.location import Location
+
+
+def fire_tuple(x=3, y=3):
+    return make_tuple(StringField("fir"), LocationField(Location(x, y)))
+
+
+def fire_template():
+    return make_template(StringField("fir"), TypeWildcard(FieldType.LOCATION))
+
+
+class TestTuples:
+    def test_arity_and_sizes(self):
+        tup = fire_tuple()
+        assert tup.arity == 2
+        assert tup.field_bytes == 3 + 5
+        assert tup.wire_size == 9
+
+    def test_encode_decode_round_trip(self):
+        tup = fire_tuple()
+        decoded, consumed = AgillaTuple.decode(tup.encode())
+        assert decoded == tup
+        assert consumed == tup.wire_size
+
+    def test_template_flag(self):
+        assert fire_template().is_template
+        assert not fire_tuple().is_template
+
+    def test_make_tuple_rejects_wildcards(self):
+        with pytest.raises(TupleSpaceError):
+            make_tuple(TypeWildcard(FieldType.VALUE))
+
+    def test_25_byte_field_limit(self):
+        # Eight values = 24 bytes of fields: fine.
+        make_tuple(*[Value(i) for i in range(8)])
+        # Five locations = 25 bytes: exactly at the limit.
+        make_tuple(*[LocationField(Location(i, i)) for i in range(5)])
+        with pytest.raises(TupleTooLargeError):
+            make_tuple(
+                Value(0), *[LocationField(Location(i, i)) for i in range(5)]
+            )
+
+    def test_matching_requires_same_arity(self):
+        template = make_template(StringField("fir"))
+        assert not template.matches(fire_tuple())
+
+    def test_matching_with_wildcards(self):
+        assert fire_template().matches(fire_tuple())
+        assert fire_template().matches(fire_tuple(9, 9))
+        other = make_tuple(StringField("foo"), LocationField(Location(3, 3)))
+        assert not fire_template().matches(other)
+
+    def test_exact_match_without_wildcards(self):
+        assert fire_tuple().matches(fire_tuple())
+        assert not fire_tuple(1, 1).matches(fire_tuple(2, 2))
+
+
+class TestTupleSpace:
+    def test_out_and_rdp(self):
+        space = TupleSpace()
+        space.out(fire_tuple())
+        assert space.rdp(fire_template()) == fire_tuple()
+        assert len(space) == 1  # rdp copies
+
+    def test_inp_removes(self):
+        space = TupleSpace()
+        space.out(fire_tuple())
+        assert space.inp(fire_template()) == fire_tuple()
+        assert space.inp(fire_template()) is None
+        assert len(space) == 0
+
+    def test_first_match_semantics(self):
+        space = TupleSpace()
+        space.out(fire_tuple(1, 1))
+        space.out(fire_tuple(2, 2))
+        assert space.inp(fire_template()) == fire_tuple(1, 1)
+        assert space.inp(fire_template()) == fire_tuple(2, 2)
+
+    def test_count(self):
+        space = TupleSpace()
+        for i in range(3):
+            space.out(fire_tuple(i, i))
+        space.out(make_tuple(Value(9)))
+        assert space.count(fire_template()) == 3
+
+    def test_capacity_enforced(self):
+        space = TupleSpace(capacity=20)
+        space.out(fire_tuple())  # 9 bytes
+        space.out(fire_tuple())  # 18 bytes
+        with pytest.raises(TupleSpaceFullError):
+            space.out(fire_tuple())
+        assert space.used_bytes == 18
+        assert space.free_bytes == 2
+
+    def test_templates_cannot_be_inserted(self):
+        with pytest.raises(TupleSpaceError):
+            TupleSpace().out(fire_template())
+
+    def test_work_accounting_scan(self):
+        space = TupleSpace()
+        space.out(make_tuple(Value(1)))  # 4 bytes
+        space.out(fire_tuple())  # 9 bytes
+        space.rdp(fire_template())
+        assert space.last_work.bytes_scanned == 13  # scanned both
+
+    def test_work_accounting_shift(self):
+        space = TupleSpace()
+        space.out(fire_tuple())  # 9 bytes (will be removed)
+        space.out(make_tuple(Value(1)))  # 4 bytes trailing
+        space.out(make_tuple(Value(2)))  # 4 bytes trailing
+        space.inp(fire_template())
+        assert space.last_work.bytes_shifted == 8
+
+    def test_remove_all(self):
+        space = TupleSpace()
+        space.out(fire_tuple(1, 1))
+        space.out(fire_tuple(2, 2))
+        space.out(make_tuple(Value(7)))
+        assert space.remove_all(fire_template()) == 2
+        assert len(space) == 1
+
+    def test_stats(self):
+        space = TupleSpace()
+        space.out(fire_tuple())
+        space.inp(fire_template())
+        assert space.inserts == 1
+        assert space.removals == 1
+
+
+class TestReactionRegistry:
+    def test_register_and_match(self):
+        registry = ReactionRegistry()
+        reaction = Reaction(7, fire_template(), 40)
+        registry.register(reaction)
+        assert registry.matching(fire_tuple()) == [reaction]
+        assert registry.matching(make_tuple(Value(1))) == []
+
+    def test_duplicate_registration_is_noop(self):
+        registry = ReactionRegistry()
+        reaction = Reaction(7, fire_template(), 40)
+        registry.register(reaction)
+        registry.register(reaction)
+        assert len(registry) == 1
+
+    def test_deregister(self):
+        registry = ReactionRegistry()
+        registry.register(Reaction(7, fire_template(), 40))
+        assert registry.deregister(7, fire_template())
+        assert not registry.deregister(7, fire_template())
+        assert len(registry) == 0
+
+    def test_deregister_checks_agent(self):
+        registry = ReactionRegistry()
+        registry.register(Reaction(7, fire_template(), 40))
+        assert not registry.deregister(8, fire_template())
+
+    def test_remove_agent(self):
+        registry = ReactionRegistry()
+        registry.register(Reaction(7, fire_template(), 40))
+        registry.register(Reaction(7, make_template(Value(1)), 50))
+        registry.register(Reaction(8, fire_template(), 60))
+        removed = registry.remove_agent(7)
+        assert len(removed) == 2
+        assert len(registry) == 1
+
+    def test_byte_budget(self):
+        # Each fire-template reaction costs 5 + 1 + 7 = 13 bytes; the paper's
+        # 400-byte default holds plenty, a tiny registry does not.
+        registry = ReactionRegistry(capacity=30)
+        registry.register(Reaction(1, fire_template(), 0))
+        registry.register(Reaction(2, fire_template(), 0))
+        with pytest.raises(ReactionRegistryFullError):
+            registry.register(Reaction(3, fire_template(), 0))
+
+    def test_default_budget_holds_about_ten_reactions(self):
+        # Paper §3.2: 400 bytes "allowing it to remember up to 10 reactions".
+        registry = ReactionRegistry()
+        template = make_template(
+            StringField("fir"),
+            TypeWildcard(FieldType.LOCATION),
+            TypeWildcard(FieldType.VALUE),
+            TypeWildcard(FieldType.VALUE),
+            TypeWildcard(FieldType.READING),
+            TypeWildcard(FieldType.READING),
+            TypeWildcard(FieldType.READING),
+            TypeWildcard(FieldType.STRING),
+            TypeWildcard(FieldType.STRING),
+            TypeWildcard(FieldType.STRING),
+        )
+        count = 0
+        try:
+            for agent_id in range(50):
+                registry.register(Reaction(agent_id, template, 0))
+                count += 1
+        except ReactionRegistryFullError:
+            pass
+        assert 8 <= count <= 16
+
+    def test_for_agent_preserves_order(self):
+        registry = ReactionRegistry()
+        first = Reaction(7, fire_template(), 40)
+        second = Reaction(7, make_template(Value(1)), 50)
+        registry.register(first)
+        registry.register(second)
+        assert registry.for_agent(7) == [first, second]

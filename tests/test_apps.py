@@ -1,0 +1,182 @@
+"""Integration tests for the application agents (§5 case study and friends)."""
+
+from repro.agilla.agent import AgentState
+from repro.agilla.fields import StringField
+from repro.apps import (
+    FIREDETECTOR_FIGURE13,
+    blink_agent,
+    chaser,
+    firedetector,
+    firetracker,
+    habitat_monitor,
+    rout_agent,
+    sampler,
+    smove_agent,
+)
+from repro.agilla.assembler import assemble
+from repro.location import Location
+from repro.mote.environment import (
+    ConstantField,
+    Environment,
+    FireField,
+    MovingTargetField,
+    waypoint_path,
+)
+from repro.mote.sensors import MAGNETOMETER, TEMPERATURE
+
+from tests.util import corridor, grid, single_node
+
+
+def tagged(net, at, tag):
+    return [
+        t
+        for t in net.tuples_at(at)
+        if t.arity and isinstance(t.fields[0], StringField) and t.fields[0].text == tag
+    ]
+
+
+class TestTesterAgents:
+    def test_smove_agent_round_trip(self):
+        net = grid()
+        agent = net.inject(smove_agent(5, 1), at=(0, 0))
+        assert net.run_until(
+            lambda: any(
+                e[0] == "arrival" and e[1] == agent.id
+                for e in net.base_station.middleware.migration.events
+            ),
+            30.0,
+        )
+
+    def test_rout_agent_places_tuple(self):
+        net = grid()
+        agent = net.inject(rout_agent(3, 1), at=(0, 0))
+        assert net.run_until(lambda: agent.state == AgentState.DEAD, 10.0)
+        assert agent.condition == 1
+        assert len(tagged(net, (3, 1), "")) == 0  # sanity: helper works
+        values = [t for t in net.tuples_at((3, 1)) if t.arity == 1]
+        assert any(str(t) == "<1>" for t in values)
+
+    def test_blink_agent_toggles(self):
+        net = single_node()
+        net.inject(blink_agent(), at=(1, 1))
+        net.run(3.5)
+        history = net.middleware((1, 1)).mote.leds.history
+        assert len(history) >= 3
+
+
+class TestFireDetector:
+    def test_figure13_verbatim_assembles_and_runs(self):
+        env = Environment({TEMPERATURE: ConstantField(50)})
+        net = single_node(environment=env)
+        agent = net.inject(assemble(FIREDETECTOR_FIGURE13, name="fdt"), at=(1, 1))
+        net.run(25.0)
+        # No fire: still alive, cycling through sleep.
+        assert agent.state in (AgentState.SLEEPING, AgentState.READY)
+
+    def test_detector_spreads_across_network(self):
+        net = corridor(4)
+        net.inject(firedetector(), at=(1, 1))
+        assert net.run_until(
+            lambda: all(tagged(net, (x, 1), "fdt") for x in range(1, 5)), 60.0
+        )
+        # Exactly one claim tuple per node (dedup works).
+        for x in range(1, 5):
+            assert len(tagged(net, (x, 1), "fdt")) == 1
+
+    def test_detector_raises_alarm_on_fire(self):
+        env = Environment(
+            {TEMPERATURE: FireField(Location(1, 1), ignition_time=0, burn_value=900)}
+        )
+        net = single_node(environment=env)
+        # Tracker host is (1,1) itself so the rout is a loopback.
+        agent = net.inject(firedetector(tracker_x=1, tracker_y=1, spread=False), at=(1, 1))
+        assert net.run_until(lambda: agent.state == AgentState.DEAD, 30.0)
+        assert tagged(net, (1, 1), "fir")
+
+
+class TestFireTracker:
+    def test_tracker_waits_then_clones_to_fire(self):
+        # Fire at (3,1); detector there; tracker waiting at (1,1).
+        env = Environment(
+            {
+                TEMPERATURE: FireField(
+                    Location(3, 1), ignition_time=2_000_000, spread_rate=0.0,
+                    max_radius=0.1,
+                )
+            }
+        )
+        net = corridor(3, environment=env)
+        net.inject(firetracker(), at=(1, 1))
+        net.inject(firedetector(tracker_x=1, tracker_y=1, spread=False), at=(3, 1))
+        # The tracker should clone itself onto the burning node and light red.
+        assert net.run_until(
+            lambda: net.middleware((3, 1)).mote.leds.lit() == ["red"], 60.0
+        )
+        assert tagged(net, (3, 1), "ftk")
+        # The alarm reached the base station.
+        assert net.run_until(lambda: tagged(net, (0, 0), "alm"), 30.0)
+
+    def test_perimeter_spreads_with_fire(self):
+        env = Environment(
+            {
+                TEMPERATURE: FireField(
+                    Location(3, 3), ignition_time=0, spread_rate=0.15, burn_value=900
+                )
+            }
+        )
+        net = grid(environment=env)
+        net.inject(firetracker(), at=(3, 3))
+        # Trackers should claim the burning node and spread to neighbors.
+        assert net.run_until(
+            lambda: sum(
+                1
+                for node in net.grid_nodes()
+                if tagged(net, node.location, "ftk")
+            )
+            >= 4,
+            90.0,
+        )
+
+
+class TestHabitatMonitor:
+    def test_publishes_fresh_samples(self):
+        env = Environment({2: ConstantField(321)})  # LIGHT = 2
+        net = single_node(environment=env)
+        net.inject(habitat_monitor(), at=(1, 1))
+        assert net.run_until(lambda: tagged(net, (1, 1), "hab"), 10.0)
+        # Old samples are retired: never more than one.
+        net.run(10.0)
+        assert len(tagged(net, (1, 1), "hab")) == 1
+
+    def test_dies_on_fire_alert(self):
+        net = single_node()
+        agent = net.inject(habitat_monitor(), at=(1, 1))
+        net.run(2.0)
+        assert agent.state != AgentState.DEAD
+        # A detector-style alert arrives:
+        net.inject(
+            assemble("pushn fir\nloc\npushc 2\nout\nhalt", name="det"), at=(1, 1)
+        )
+        assert net.run_until(lambda: agent.state == AgentState.DEAD, 10.0)
+
+
+class TestIntruderTracking:
+    def test_chaser_follows_target(self):
+        path = waypoint_path([(1.0, 1.0), (4.0, 1.0)], speed=0.08)
+        env = Environment(
+            {MAGNETOMETER: MovingTargetField(path, peak=1000, reach=1.6)}
+        )
+        net = corridor(4, environment=env)
+        for x in range(1, 5):
+            net.inject(sampler(spread=False), at=(x, 1))
+        net.run(2.0)
+        agent = net.inject(chaser(), at=(1, 1))
+        # The target reaches (4,1) after ~37 s; the chaser should end up there.
+
+        def chaser_at_goal():
+            return any(a.name == "chs" for a in net.agents_at((4, 1)))
+
+        assert net.run_until(chaser_at_goal, 120.0)
+        assert agent.hops >= 1 or any(
+            a.name == "chs" for a in net.agents_at((4, 1))
+        )

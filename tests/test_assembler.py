@@ -1,0 +1,188 @@
+"""Unit tests for the assembler and disassembler, including paper listings."""
+
+import pytest
+
+from repro.agilla.assembler import assemble, code_length, disassemble
+from repro.agilla.isa import BY_NAME, INSTRUCTIONS, PAPER_OPCODES, Operand
+from repro.errors import AssemblerError
+
+SMOVE_AGENT = """
+    // The smove agent (Figure 8, top)
+    1: pushloc 5 1
+    2: smove            // strong move to mote at (5,1)
+    3: pushloc 0 0
+    4: smove            // strong move to mote at (0,0)
+    5: halt
+"""
+
+ROUT_AGENT = """
+    // The rout agent (Figure 8, bottom)
+    pushc 1
+    pushc 1             // tuple <value:1> on stack
+    pushloc 5 1
+    rout                // do rout on mote (5,1)
+    halt
+"""
+
+FIRETRACKER_PREFIX = """
+    BEGIN pushn fir
+    pusht LOCATION
+    pushc 2
+    pushc FIRE          // register fire alert reaction
+    regrxn
+    wait                // wait for reaction to fire
+    FIRE pop
+    sclone              // strong clone to the detecting node
+    halt
+"""
+
+
+class TestAssembleBasics:
+    def test_smove_agent_assembles(self):
+        program = assemble(SMOVE_AGENT, name="smove-test")
+        # pushloc(5) + smove(1) + pushloc(5) + smove(1) + halt(1) = 13 bytes
+        assert program.size == 13
+        assert program.name == "smove-test"
+
+    def test_rout_agent_assembles(self):
+        program = assemble(ROUT_AGENT)
+        # pushc(2)*2 + pushloc(5) + rout(1) + halt(1) = 11 bytes
+        assert program.size == 11
+
+    def test_firetracker_labels(self):
+        program = assemble(FIRETRACKER_PREFIX)
+        assert program.labels["BEGIN"] == 0
+        # BEGIN..wait = pushn(3)+pusht(2)+pushc(2)+pushc(2)+regrxn(1)+wait(1)
+        assert program.labels["FIRE"] == 11
+        # `pushc FIRE` must encode the label's address.
+        assert program.code[8] == 11
+
+    def test_paper_line_numbers_tolerated(self):
+        with_numbers = "1: pushc 5\n2: halt"
+        without = "pushc 5\nhalt"
+        assert assemble(with_numbers).code == assemble(without).code
+
+    def test_comments_stripped(self):
+        assert assemble("halt // the end").code == assemble("halt").code
+
+    def test_colon_label_form(self):
+        program = assemble("START: pushc 1\nrjump START")
+        assert program.labels["START"] == 0
+
+    def test_named_constants(self):
+        program = assemble("pushc TEMPERATURE\nsense\nhalt")
+        assert program.code[1] == 1  # TEMPERATURE == 1
+
+    def test_rjump_offset_is_relative(self):
+        program = assemble("BEGIN nop\nnop\nrjump BEGIN")
+        # rjump sits at address 2; BEGIN is 0 -> offset -2 (0xFE).
+        assert program.code[-1] == 0xFE
+
+    def test_pushloc_negative_coordinates(self):
+        program = assemble("pushloc -1 -2\nhalt")
+        assert program.size == 6
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("// nothing here")
+
+    def test_code_length_helper(self):
+        assert code_length("halt") == 1
+
+
+class TestAssembleErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblerError, match="unknown instruction"):
+            assemble("fly 1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="operand"):
+            assemble("pushloc 5")
+        with pytest.raises(AssemblerError, match="operand"):
+            assemble("halt 3")
+
+    def test_pushc_range(self):
+        with pytest.raises(AssemblerError, match="pushc"):
+            assemble("pushc 300")
+
+    def test_pushcl_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("pushcl 70000")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError, match="not a number"):
+            assemble("pushc NOPE")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("A nop\nA nop")
+
+    def test_relative_jump_out_of_range(self):
+        far = "BEGIN nop\n" + "pushloc 1 1\n" * 40 + "rjump BEGIN"
+        with pytest.raises(AssemblerError, match="±127"):
+            assemble(far)
+
+    def test_heap_slot_range(self):
+        with pytest.raises(AssemblerError, match="heap slot"):
+            assemble("getvar 12")
+
+    def test_bad_string(self):
+        with pytest.raises(AssemblerError):
+            assemble("pushn fire")
+
+
+class TestDisassembler:
+    def test_round_trip_all_instructions(self):
+        lines = []
+        for idef in INSTRUCTIONS:
+            if idef.operand == Operand.NONE:
+                lines.append(idef.name)
+            elif idef.operand == Operand.U8:
+                lines.append(f"{idef.name} 7")
+            elif idef.operand == Operand.I8_REL:
+                lines.append(f"{idef.name} 0")
+            elif idef.operand == Operand.I16:
+                lines.append(f"{idef.name} -1234")
+            elif idef.operand == Operand.STRING:
+                lines.append(f"{idef.name} abc")
+            elif idef.operand in (Operand.TYPE, Operand.RTYPE):
+                lines.append(f"{idef.name} 1")
+            elif idef.operand == Operand.LOCATION:
+                lines.append(f"{idef.name} 3 -4")
+            elif idef.operand == Operand.VAR:
+                lines.append(f"{idef.name} 5")
+        source = "\n".join(lines)
+        program = assemble(source)
+        recovered = disassemble(program.code)
+        reassembled = assemble("\n".join(recovered))
+        assert reassembled.code == program.code
+
+    def test_invalid_opcode_rejected(self):
+        with pytest.raises(AssemblerError, match="invalid opcode"):
+            disassemble(b"\xfe")
+
+    def test_truncated_instruction_rejected(self):
+        pushcl = BY_NAME["pushcl"]
+        with pytest.raises(AssemblerError, match="truncated"):
+            disassemble(bytes([pushcl.opcode, 0x01]))
+
+
+class TestIsaTable:
+    def test_paper_opcodes_preserved(self):
+        # Figure 7 of the paper fixes these opcode assignments.
+        for name, opcode in PAPER_OPCODES.items():
+            assert BY_NAME[name].opcode == opcode, name
+
+    def test_opcodes_unique(self):
+        opcodes = [idef.opcode for idef in INSTRUCTIONS]
+        assert len(opcodes) == len(set(opcodes))
+
+    def test_most_instructions_are_one_byte(self):
+        # §3.4: "With a few exceptions, an instruction is one byte".
+        one_byte = sum(1 for idef in INSTRUCTIONS if idef.length == 1)
+        assert one_byte > len(INSTRUCTIONS) * 0.6
+
+    def test_every_instruction_has_docs_and_cycles(self):
+        for idef in INSTRUCTIONS:
+            assert idef.doc
+            assert idef.base_cycles > 0

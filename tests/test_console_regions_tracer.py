@@ -1,0 +1,194 @@
+"""Tests for the base-station console, region operations, and tracer."""
+
+import pytest
+
+from repro.agilla.agent import AgentState
+from repro.agilla.assembler import assemble
+from repro.agilla.fields import FieldType, StringField, TypeWildcard, Value
+from repro.agilla.injector import BaseStationConsole, tuple_literal
+from repro.agilla.tracer import Tracer
+from repro.agilla.tuples import make_template, make_tuple
+from repro.apps.regions import Region, any_in_region, clone_region
+from repro.errors import AgillaError
+from repro.location import Location
+
+from tests.util import grid, run_agent, single_node
+
+
+class TestTupleLiteral:
+    def test_value_and_string(self):
+        lines = tuple_literal(make_tuple(StringField("key"), Value(-7)))
+        assert lines == ["pushn key", "pushcl -7", "pushc 2"]
+
+    def test_wildcards(self):
+        lines = tuple_literal(make_template(TypeWildcard(FieldType.LOCATION)))
+        assert lines[0].startswith("pusht")
+
+    def test_assembles_and_runs(self):
+        net = single_node()
+        source = "\n".join(tuple_literal(make_tuple(Value(5)))) + "\nout\nwait"
+        agent = run_agent(net, source)
+        assert agent.condition == 1
+
+
+class TestBaseStationConsole:
+    def test_remote_out_and_read(self):
+        net = grid()
+        console = BaseStationConsole(net)
+        op = console.remote_out((3, 1), make_tuple(StringField("cfg"), Value(9)))
+        assert op.wait(20.0)
+        assert op.succeeded
+        read = console.remote_read(
+            (3, 1), make_template(StringField("cfg"), TypeWildcard(FieldType.VALUE))
+        )
+        assert read.wait(20.0)
+        assert read.succeeded
+        assert read.result == make_tuple(StringField("cfg"), Value(9))
+
+    def test_remote_take_removes(self):
+        net = grid()
+        console = BaseStationConsole(net)
+        console.remote_out((2, 1), make_tuple(Value(5))).wait(20.0)
+        take = console.remote_take(
+            (2, 1), make_template(TypeWildcard(FieldType.VALUE))
+        )
+        assert take.wait(20.0)
+        assert take.result == make_tuple(Value(5))
+        # Gone from the remote node now.
+        again = console.remote_take(
+            (2, 1), make_template(TypeWildcard(FieldType.VALUE))
+        )
+        again.wait(20.0)
+        assert not again.succeeded
+
+    def test_proxies_are_reaped(self):
+        net = grid()
+        console = BaseStationConsole(net)
+        console.remote_out((1, 1), make_tuple(Value(1))).wait(20.0)
+        net.run(2.0)
+        assert net.agents_at((0, 0)) == []  # no proxy build-up
+
+    def test_inject_at_places_code_remotely(self):
+        net = grid()
+        console = BaseStationConsole(net)
+        console.inject_at(assemble("pushc LED_RED_ON\nputled\nwait", name="rsp"), (3, 2))
+        assert net.run_until(
+            lambda: net.middleware((3, 2)).mote.leds.lit() == ["red"], 30.0
+        )
+        assert any(a.name == "rsp" for a in net.agents_at((3, 2)))
+
+    def test_collect_and_drain(self):
+        net = grid()
+        console = BaseStationConsole(net)
+        run_agent(net, "pushn alm\nloc\npushc 2\nout\nhalt", at=(0, 0), name="a")
+        assert len(console.collected("alm")) == 1
+        drained = console.drain("alm")
+        assert len(drained) == 1
+        assert console.collected("alm") == []
+
+    def test_survey(self):
+        net = grid()
+        console = BaseStationConsole(net)
+        run_agent(net, "wait", at=(2, 2), name="xyz")
+        census = console.survey()
+        assert census == {Location(2, 2): ["xyz"]}
+
+
+class TestRegions:
+    def test_region_geometry(self):
+        region = Region(2, 2, 4, 3)
+        assert region.size == 6
+        assert Location(3, 2) in region
+        assert Location(5, 2) not in region
+        assert len(region.locations()) == 6
+        with pytest.raises(AgillaError):
+            Region(3, 3, 2, 2)
+
+    def test_clone_region_covers_every_node(self):
+        net = grid()
+        region = Region(2, 1, 4, 2)
+        program = clone_region(region, "pushc LED_GREEN_ON\nputled\nwait")
+        net.inject(program, at=(0, 0))
+
+        def covered():
+            return all(
+                net.middleware(loc).mote.leds.lit() == ["green"]
+                for loc in region.locations()
+            )
+
+        assert net.run_until(covered, 120.0)
+        # Nodes outside the region stay dark.
+        assert net.middleware((5, 5)).mote.leds.lit() == []
+
+    def test_any_in_region_runs_somewhere_inside(self):
+        net = grid()
+        region = Region(3, 3, 5, 5)
+        net.inject(any_in_region(region, "pushc LED_RED_ON\nputled\nwait"), at=(0, 0))
+
+        def lit_inside():
+            return any(
+                net.middleware(loc).mote.leds.lit() == ["red"]
+                for loc in region.locations()
+            )
+
+        assert net.run_until(lit_inside, 60.0)
+
+
+class TestTracer:
+    def test_records_instructions(self):
+        net = single_node()
+        middleware = net.middleware((1, 1))
+        with Tracer(middleware) as tracer:
+            run_agent(net, "pushc 1\npushc 2\nadd\nwait")
+        assert [e.instruction for e in tracer.entries] == [
+            "pushc", "pushc", "add", "wait",
+        ]
+        assert tracer.entries[0].pc == 0
+        assert tracer.entries[2].stack_depth == 1  # after the add
+
+    def test_detach_stops_recording(self):
+        net = single_node()
+        middleware = net.middleware((1, 1))
+        tracer = Tracer(middleware).attach()
+        run_agent(net, "nop\nwait", name="a")
+        tracer.detach()
+        before = len(tracer)
+        run_agent(net, "nop\nwait", name="b")
+        assert len(tracer) == before
+
+    def test_histogram_and_cycle_accounting(self):
+        net = single_node()
+        middleware = net.middleware((1, 1))
+        with Tracer(middleware) as tracer:
+            run_agent(net, "pushc 1\npushc 2\npushc 3\npop\npop\npop\nwait")
+        histogram = tracer.instruction_histogram()
+        assert histogram["pushc"] == 3
+        assert histogram["pop"] == 3
+        totals = tracer.cycles_by_agent()
+        assert sum(totals.values()) > 0
+
+    def test_limit_drops_excess(self):
+        net = single_node()
+        middleware = net.middleware((1, 1))
+        with Tracer(middleware, limit=2) as tracer:
+            run_agent(net, "nop\nnop\nnop\nwait")
+        assert len(tracer) == 2
+        assert tracer.dropped == 2
+
+    def test_render_is_readable(self):
+        net = single_node()
+        middleware = net.middleware((1, 1))
+        with Tracer(middleware) as tracer:
+            run_agent(net, "loc\nwait", name="trc")
+        text = tracer.render()
+        assert "loc" in text and "trc" in text
+
+    def test_chains_existing_hook(self):
+        net = single_node()
+        middleware = net.middleware((1, 1))
+        seen = []
+        middleware.engine.on_instruction = lambda a, i, c: seen.append(i.name)
+        with Tracer(middleware) as tracer:
+            run_agent(net, "nop\nwait")
+        assert "nop" in seen  # previous hook still called
+        assert len(tracer) == 2

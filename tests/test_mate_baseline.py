@@ -1,0 +1,133 @@
+"""Tests for the Mate baseline: ISA, VM, and viral code distribution."""
+
+import pytest
+
+from repro.baselines.mate import (
+    CLOCK_CAPSULE,
+    Capsule,
+    MateNetwork,
+    mate_assemble,
+)
+from repro.errors import BaselineError
+from repro.location import Location
+from repro.mote.environment import ConstantField, Environment
+from repro.mote.sensors import TEMPERATURE
+from repro.radio.linkmodels import PerfectLinks
+
+BLINK = """
+    pushc LED_GREEN_TOGGLE
+    putled
+    forw
+    halt
+"""
+
+SENSE_AND_REPORT = """
+    pushc TEMPERATURE
+    sense
+    send
+    forw
+    halt
+"""
+
+
+def lossless_net(**kwargs):
+    kwargs.setdefault("link_model", PerfectLinks())
+    return MateNetwork(width=3, height=3, **kwargs)
+
+
+class TestMateIsa:
+    def test_assemble_blink(self):
+        capsule = mate_assemble(BLINK, version=1)
+        assert capsule.capsule_id == 0
+        assert capsule.version == 1
+        assert len(capsule.code) == 5  # pushc(2) putled forw halt
+
+    def test_labels_and_blez(self):
+        capsule = mate_assemble("TOP pushc 0\nblez TOP\nhalt")
+        assert capsule.code[2] == 0x0F  # blez
+        assert capsule.code[3] == 0  # address of TOP
+
+    def test_capsule_codec_round_trip(self):
+        capsule = mate_assemble(BLINK, capsule_id=2, version=7)
+        assert Capsule.decode(capsule.encode()) == capsule
+
+    def test_capsule_size_limit(self):
+        with pytest.raises(BaselineError):
+            Capsule(0, 1, bytes(30))
+
+    def test_unknown_instruction(self):
+        with pytest.raises(BaselineError):
+            mate_assemble("explode")
+
+    def test_operand_validation(self):
+        with pytest.raises(BaselineError):
+            mate_assemble("pushc 300")
+        with pytest.raises(BaselineError):
+            mate_assemble("add 1")
+
+
+class TestMateVm:
+    def test_clock_capsule_runs_periodically(self):
+        net = lossless_net()
+        net.nodes[Location(1, 1)].install(mate_assemble(BLINK))
+        net.run(3.5)
+        vm = net.nodes[Location(1, 1)].vm
+        assert vm.runs == 3
+        history = net.nodes[Location(1, 1)].mote.leds.history
+        assert len(history) == 3
+
+    def test_sense_and_report_reaches_neighbors(self):
+        env = Environment({TEMPERATURE: ConstantField(333)})
+        net = lossless_net(environment=env)
+        net.nodes[Location(2, 2)].install(mate_assemble(SENSE_AND_REPORT))
+        net.run(2.5)
+        reports = net.nodes[Location(2, 1)].reports
+        assert reports and reports[0][1] == 333
+
+    def test_vm_error_stops_run(self):
+        net = lossless_net()
+        net.nodes[Location(1, 1)].install(mate_assemble("pop\nhalt"))
+        net.run(1.5)
+        assert net.nodes[Location(1, 1)].vm.errors == 1
+
+    def test_arithmetic(self):
+        net = lossless_net()
+        middleware = net.nodes[Location(1, 1)]
+        middleware.install(mate_assemble("pushc 4\npushc 5\nadd\nsetvar 0\nhalt"))
+        net.run(1.5)
+        assert middleware.vm.variables[0] == 9
+
+
+class TestMateFlooding:
+    def test_forw_floods_whole_network(self):
+        net = lossless_net()
+        net.reprogram(mate_assemble(BLINK, version=1))
+        assert net.run_until(lambda: net.coverage(CLOCK_CAPSULE, 1) == 1.0, 120.0)
+
+    def test_newer_version_replaces_older(self):
+        net = lossless_net()
+        net.reprogram(mate_assemble(BLINK, version=1))
+        net.run_until(lambda: net.coverage(CLOCK_CAPSULE, 1) == 1.0, 120.0)
+        net.reprogram(mate_assemble(SENSE_AND_REPORT, version=2))
+        assert net.run_until(lambda: net.coverage(CLOCK_CAPSULE, 2) == 1.0, 120.0)
+        # The old application is gone everywhere: Mate runs one app at a time.
+        for node in net.grid_middlewares():
+            assert node.version_of(CLOCK_CAPSULE) == 2
+
+    def test_older_version_rejected(self):
+        net = lossless_net()
+        middleware = net.nodes[Location(1, 1)]
+        assert middleware.install(mate_assemble(BLINK, version=5))
+        assert not middleware.install(mate_assemble(BLINK, version=4))
+        assert middleware.version_of(CLOCK_CAPSULE) == 5
+
+    def test_summary_pull_heals_stale_node(self):
+        net = lossless_net()
+        net.reprogram(mate_assemble(BLINK, version=1))
+        net.run_until(lambda: net.coverage(CLOCK_CAPSULE, 1) == 1.0, 120.0)
+        # A node "reboots" to an old version; summaries must re-infect it.
+        stale = net.nodes[Location(3, 3)]
+        stale.capsules[CLOCK_CAPSULE] = mate_assemble(BLINK, version=0)
+        assert net.run_until(
+            lambda: stale.version_of(CLOCK_CAPSULE) == 1, 120.0
+        )

@@ -1,0 +1,188 @@
+"""Unit tests for the mote hardware model (memory, LEDs, sensors, fields)."""
+
+import pytest
+
+from repro.errors import MemoryBudgetError
+from repro.mote import (
+    ADC_MAX,
+    LIGHT,
+    MAGNETOMETER,
+    TEMPERATURE,
+    ConstantField,
+    Environment,
+    FireField,
+    HotspotField,
+    MemoryLedger,
+    Mote,
+    MovingTargetField,
+    NoisyField,
+    SensorBoard,
+    waypoint_path,
+)
+from repro.mote.leds import OP_OFF, OP_ON, OP_TOGGLE, Leds
+from repro.net.addresses import Location
+from repro.sim import Simulator, seconds
+
+
+class TestMemoryLedger:
+    def test_allocation_tracks_usage(self):
+        ledger = MemoryLedger()
+        ledger.allocate("TupleSpace", "arena", 600)
+        ledger.allocate("ReactionRegistry", "registry", 400)
+        assert ledger.ram_used == 1000
+        assert ledger.ram_free == 4096 - 1000
+
+    def test_over_budget_raises(self):
+        ledger = MemoryLedger(ram_capacity=100)
+        ledger.allocate("a", "x", 90)
+        with pytest.raises(MemoryBudgetError):
+            ledger.allocate("b", "y", 11)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(MemoryBudgetError):
+            MemoryLedger().allocate("a", "x", -1)
+
+    def test_free_returns_bytes(self):
+        ledger = MemoryLedger()
+        allocation = ledger.allocate("a", "x", 1000)
+        ledger.free(allocation)
+        assert ledger.ram_used == 0
+
+    def test_by_component_aggregates(self):
+        ledger = MemoryLedger()
+        ledger.allocate("Agilla", "buf1", 100)
+        ledger.allocate("Agilla", "buf2", 50)
+        ledger.allocate("TinyOS", "stack", 200)
+        by_component = ledger.ram_by_component()
+        assert by_component == {"TinyOS": 200, "Agilla": 150}
+
+    def test_code_footprint(self):
+        ledger = MemoryLedger()
+        ledger.record_code("AgillaEngine", 10_000)
+        ledger.record_code("TupleSpaceManager", 5_000)
+        assert ledger.flash_used == 15_000
+        with pytest.raises(MemoryBudgetError):
+            ledger.record_code("huge", 130_000)
+
+    def test_report_mentions_components(self):
+        ledger = MemoryLedger()
+        ledger.allocate("TupleSpace", "arena", 600)
+        assert "TupleSpace" in ledger.report()
+
+
+class TestLeds:
+    def test_on_off_toggle(self):
+        leds = Leds()
+        leds.execute((OP_ON << 3) | 0b001, now=0)
+        assert leds.state == [True, False, False]
+        leds.execute((OP_TOGGLE << 3) | 0b011, now=1)
+        assert leds.state == [False, True, False]
+        leds.execute((OP_OFF << 3) | 0b111, now=2)
+        assert leds.state == [False, False, False]
+
+    def test_set_mask(self):
+        leds = Leds()
+        leds.execute(0b101, now=0)  # OP_SET
+        assert leds.state == [True, False, True]
+        assert leds.lit() == ["red", "yellow"]
+
+    def test_history_recorded(self):
+        leds = Leds()
+        leds.execute((OP_ON << 3) | 0b001, now=5)
+        assert leds.history == [(5, (True, False, False))]
+
+
+class TestSensors:
+    def test_default_board_types(self):
+        board = SensorBoard()
+        assert board.has(TEMPERATURE)
+        assert board.has(LIGHT)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            SensorBoard((99,))
+
+    def test_absent_sensor_reads_zero(self):
+        board = SensorBoard((TEMPERATURE,))
+        env = Environment({LIGHT: ConstantField(500)})
+        assert board.read(LIGHT, env, Location(1, 1), 0) == 0
+
+    def test_reading_clamped_to_adc(self):
+        board = SensorBoard()
+        env = Environment({TEMPERATURE: ConstantField(5000)})
+        assert board.read(TEMPERATURE, env, Location(1, 1), 0) == ADC_MAX
+        env = Environment({TEMPERATURE: ConstantField(-50)})
+        assert board.read(TEMPERATURE, env, Location(1, 1), 0) == 0
+
+
+class TestFields:
+    def test_hotspot_peak_and_background(self):
+        field = HotspotField(Location(3, 3), peak=900, background=60, radius=2.0)
+        assert field.sample(Location(3, 3), 0) == 900
+        assert field.sample(Location(3, 1), 0) == 60  # distance 2 >= radius
+
+    def test_fire_spreads_over_time(self):
+        fire = FireField(Location(3, 3), ignition_time=0, spread_rate=1.0)
+        assert fire.burning(Location(3, 3), now=0)
+        assert not fire.burning(Location(5, 3), now=seconds(1))
+        assert fire.burning(Location(5, 3), now=seconds(2))
+
+    def test_fire_before_ignition_is_ambient(self):
+        fire = FireField(Location(3, 3), ignition_time=seconds(10), ambient=70)
+        assert fire.sample(Location(3, 3), now=0) == 70
+        assert fire.radius_at(0) == 0.0
+
+    def test_fire_max_radius_caps_growth(self):
+        fire = FireField(Location(3, 3), spread_rate=1.0, max_radius=2.0)
+        assert fire.radius_at(seconds(100)) == 2.0
+
+    def test_fire_reading_exceeds_detector_threshold(self):
+        # The FIREDETECTOR agent of Figure 13 uses threshold 200.
+        fire = FireField(Location(3, 3), burn_value=800)
+        assert fire.sample(Location(3, 3), now=seconds(1)) > 200
+
+    def test_moving_target_follows_path(self):
+        path = waypoint_path([(1.0, 1.0), (5.0, 1.0)], speed=1.0)
+        field = MovingTargetField(path, peak=1000, reach=2.0)
+        assert field.sample(Location(1, 1), 0) == 1000
+        assert field.sample(Location(1, 1), seconds(4)) == 0.0
+        assert field.sample(Location(5, 1), seconds(4)) == 1000
+
+    def test_waypoint_path_validates(self):
+        with pytest.raises(ValueError):
+            waypoint_path([], speed=1.0)
+        with pytest.raises(ValueError):
+            waypoint_path([(0, 0)], speed=0)
+
+    def test_noisy_field_is_deterministic_per_seed(self):
+        base = ConstantField(100)
+        a = NoisyField(base, 5.0, Simulator(seed=3).rng("noise"))
+        b = NoisyField(base, 5.0, Simulator(seed=3).rng("noise"))
+        assert a.sample(Location(1, 1), 0) == b.sample(Location(1, 1), 0)
+
+    def test_environment_default_ambient(self):
+        env = Environment()
+        assert env.sample(TEMPERATURE, Location(1, 1), 0) == Environment.DEFAULT_AMBIENT
+
+
+class TestMote:
+    def test_mote_senses_through_environment(self):
+        sim = Simulator()
+        env = Environment({TEMPERATURE: ConstantField(321)})
+        mote = Mote(sim, 1, Location(2, 2), env)
+        assert mote.sense(TEMPERATURE) == 321
+
+    def test_mote_has_hardware(self):
+        mote = Mote(Simulator(), 1, Location(1, 1))
+        assert mote.memory.ram_free > 0
+        assert mote.cpu.clock_hz == 8_000_000
+        timer = mote.new_timer(lambda: None)
+        assert not timer.running
+
+    def test_magnetometer_tracking_scenario(self):
+        sim = Simulator()
+        path = waypoint_path([(1.0, 1.0), (3.0, 1.0)], speed=1.0)
+        env = Environment({MAGNETOMETER: MovingTargetField(path, reach=1.5)})
+        near = Mote(sim, 1, Location(1, 1), env)
+        far = Mote(sim, 2, Location(3, 1), env)
+        assert near.sense(MAGNETOMETER) > far.sense(MAGNETOMETER)

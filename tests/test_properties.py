@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) for core data structures & invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agilla.assembler import assemble, disassemble
+from repro.agilla.fields import (
+    AgentIdField,
+    FieldType,
+    LocationField,
+    Reading,
+    ReadingWildcard,
+    StringField,
+    TypeWildcard,
+    Value,
+    decode_field,
+    pack_string,
+    unpack_string,
+)
+from repro.agilla.tuples import AgillaTuple, MAX_FIELD_BYTES
+from repro.agilla.tuplespace import TupleSpace
+from repro.errors import TupleSpaceFullError
+from repro.location import Location
+from repro.sim.kernel import Simulator
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+packable_text = st.text(alphabet=string.ascii_lowercase + "_-.!?", min_size=0, max_size=3)
+
+locations = st.builds(
+    Location,
+    st.integers(min_value=-32768, max_value=32767),
+    st.integers(min_value=-32768, max_value=32767),
+)
+
+concrete_fields = st.one_of(
+    st.builds(Value, st.integers(min_value=-32768, max_value=32767)),
+    st.builds(AgentIdField, st.integers(min_value=0, max_value=0xFFFF)),
+    st.builds(StringField, packable_text.filter(lambda t: len(t) > 0)),
+    st.builds(LocationField, locations),
+    st.builds(
+        Reading,
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=-32768, max_value=32767),
+    ),
+)
+
+any_fields = st.one_of(
+    concrete_fields,
+    st.builds(TypeWildcard, st.sampled_from(list(FieldType))),
+    st.builds(ReadingWildcard, st.integers(min_value=0, max_value=255)),
+)
+
+
+def small_tuples(fields=concrete_fields):
+    return st.lists(fields, min_size=0, max_size=5).map(
+        lambda fs: AgillaTuple(tuple(fs))
+        if sum(f.wire_size for f in fs) <= MAX_FIELD_BYTES
+        else AgillaTuple(tuple(fs[:2]))
+    )
+
+
+# ----------------------------------------------------------------------
+# Codec round trips
+# ----------------------------------------------------------------------
+class TestCodecProperties:
+    @given(packable_text)
+    def test_string_packing_round_trips(self, text):
+        assert unpack_string(pack_string(text)) == text
+
+    @given(any_fields)
+    def test_field_codec_round_trips(self, field):
+        decoded, consumed = decode_field(field.encode())
+        assert decoded == field
+        assert consumed == field.wire_size
+
+    @given(small_tuples(any_fields))
+    def test_tuple_codec_round_trips(self, tup):
+        decoded, consumed = AgillaTuple.decode(tup.encode())
+        assert decoded == tup
+        assert consumed == tup.wire_size
+
+    @given(small_tuples(any_fields), st.binary(min_size=0, max_size=8))
+    def test_tuple_decode_ignores_trailing_bytes(self, tup, suffix):
+        decoded, consumed = AgillaTuple.decode(tup.encode() + suffix)
+        assert decoded == tup
+        assert consumed == tup.wire_size
+
+
+# ----------------------------------------------------------------------
+# Matching properties
+# ----------------------------------------------------------------------
+class TestMatchingProperties:
+    @given(small_tuples())
+    def test_concrete_tuple_matches_itself(self, tup):
+        assert tup.matches(tup)
+
+    @given(small_tuples())
+    def test_all_wildcard_template_matches(self, tup):
+        template = AgillaTuple(tuple(TypeWildcard(f.ftype) for f in tup.fields))
+        assert template.matches(tup)
+
+    @given(small_tuples(), small_tuples())
+    def test_arity_mismatch_never_matches(self, a, b):
+        if a.arity != b.arity:
+            assert not a.matches(b)
+
+
+# ----------------------------------------------------------------------
+# Tuple space invariants
+# ----------------------------------------------------------------------
+ops = st.lists(
+    st.tuples(st.sampled_from(["out", "inp", "rdp", "count"]), small_tuples()),
+    max_size=40,
+)
+
+
+class TestTupleSpaceProperties:
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_arena_accounting_never_breaks(self, operations):
+        space = TupleSpace(capacity=120)
+        shadow: list[AgillaTuple] = []
+        for op, tup in operations:
+            if op == "out":
+                try:
+                    space.out(tup)
+                    shadow.append(tup)
+                except TupleSpaceFullError:
+                    pass
+                except Exception:
+                    continue  # template insert rejected
+            elif op == "inp":
+                removed = space.inp(tup)
+                if removed is not None:
+                    shadow.remove(removed)
+            elif op == "rdp":
+                space.rdp(tup)
+            else:
+                space.count(tup)
+            # Invariants after every operation:
+            assert space.used_bytes == sum(t.wire_size for t in shadow)
+            assert 0 <= space.used_bytes <= space.capacity
+            assert space.tuples() == shadow
+
+    @given(small_tuples())
+    def test_out_then_inp_round_trips(self, tup):
+        if tup.is_template:
+            return
+        space = TupleSpace()
+        space.out(tup)
+        assert space.inp(tup) == tup
+        assert len(space) == 0
+
+    @given(st.lists(small_tuples().filter(lambda t: not t.is_template), max_size=8))
+    def test_count_equals_matching_scan(self, tuples):
+        space = TupleSpace(capacity=600)
+        stored = []
+        for tup in tuples:
+            try:
+                space.out(tup)
+                stored.append(tup)
+            except TupleSpaceFullError:
+                break
+        for tup in stored:
+            expected = sum(1 for t in stored if tup.matches(t))
+            assert space.count(tup) == expected
+
+
+# ----------------------------------------------------------------------
+# Assembler round trip
+# ----------------------------------------------------------------------
+simple_instructions = st.sampled_from(
+    ["nop", "pop", "copy", "add", "halt", "loc", "aid", "wait", "out", "inp"]
+)
+operand_lines = st.one_of(
+    st.integers(min_value=0, max_value=255).map(lambda v: f"pushc {v}"),
+    st.integers(min_value=-32768, max_value=32767).map(lambda v: f"pushcl {v}"),
+    packable_text.filter(lambda t: t).map(lambda t: f"pushn {t}"),
+    st.tuples(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=-100, max_value=100),
+    ).map(lambda p: f"pushloc {p[0]} {p[1]}"),
+    st.integers(min_value=0, max_value=11).map(lambda v: f"getvar {v}"),
+)
+
+
+class TestAssemblerProperties:
+    @given(st.lists(st.one_of(simple_instructions, operand_lines), min_size=1, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_assemble_disassemble_round_trips(self, lines):
+        program = assemble("\n".join(lines))
+        recovered = disassemble(program.code)
+        assert assemble("\n".join(recovered)).code == program.code
+
+
+# ----------------------------------------------------------------------
+# Event kernel determinism
+# ----------------------------------------------------------------------
+class TestKernelProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=30))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run_until_idle()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,213 @@
+"""Unit tests for frames, link models and the CSMA channel."""
+
+import pytest
+
+from repro.errors import RadioError
+from repro.mote import Environment, Mote
+from repro.net.addresses import BROADCAST_ID, Location
+from repro.radio import (
+    Channel,
+    DistancePrrLinks,
+    Frame,
+    MacParams,
+    PerfectLinks,
+    UniformLossLinks,
+)
+from repro.radio.frame import FRAME_OVERHEAD_BYTES, MAX_PAYLOAD
+from repro.sim import Simulator, ms
+
+
+def make_mote(sim, mote_id, x, y):
+    return Mote(sim, mote_id, Location(x, y), Environment())
+
+
+class TestFrame:
+    def test_payload_limit_is_27_bytes(self):
+        Frame(1, 2, 0x10, bytes(MAX_PAYLOAD))
+        with pytest.raises(RadioError):
+            Frame(1, 2, 0x10, bytes(MAX_PAYLOAD + 1))
+
+    def test_air_bytes_include_overhead(self):
+        frame = Frame(1, 2, 0x10, b"abc")
+        assert frame.air_bytes == 3 + FRAME_OVERHEAD_BYTES
+
+    def test_broadcast_flag(self):
+        assert Frame(1, BROADCAST_ID, 0x10).is_broadcast
+        assert not Frame(1, 2, 0x10).is_broadcast
+
+
+class TestLinkModels:
+    def test_perfect_links(self):
+        model = PerfectLinks(range_m=10)
+        assert model.prr((0, 0), (0, 9)) == 1.0
+        assert model.prr((0, 0), (0, 11)) == 0.0
+
+    def test_uniform_loss(self):
+        model = UniformLossLinks(prr=0.9, range_m=10)
+        assert model.prr((0, 0), (1, 0)) == 0.9
+        assert not model.in_range((0, 0), (20, 0))
+        with pytest.raises(ValueError):
+            UniformLossLinks(prr=1.5)
+
+    def test_distance_prr_decays(self):
+        model = DistancePrrLinks(connected_m=10, range_m=20, prr_connected=1.0)
+        assert model.prr((0, 0), (5, 0)) == 1.0
+        assert model.prr((0, 0), (15, 0)) == pytest.approx(0.5)
+        assert model.prr((0, 0), (25, 0)) == 0.0
+        with pytest.raises(ValueError):
+            DistancePrrLinks(connected_m=30, range_m=20)
+
+
+class TestChannel:
+    def _pair(self, seed=0, link_model=None):
+        sim = Simulator(seed=seed)
+        channel = Channel(sim, link_model or PerfectLinks())
+        a = make_mote(sim, 1, 1, 1)
+        b = make_mote(sim, 2, 2, 1)
+        radio_a = channel.attach(a)
+        radio_b = channel.attach(b)
+        return sim, channel, radio_a, radio_b
+
+    def test_delivery_on_perfect_link(self):
+        sim, channel, radio_a, radio_b = self._pair()
+        got = []
+        radio_b.set_receive_callback(got.append)
+        radio_a.send(Frame(1, 2, 0x10, b"hello"))
+        sim.run_until_idle()
+        assert len(got) == 1
+        assert got[0].payload == b"hello"
+
+    def test_airtime_scales_with_size(self):
+        sim, channel, _, _ = self._pair()
+        small = channel.airtime_us(Frame(1, 2, 0x10, b""))
+        large = channel.airtime_us(Frame(1, 2, 0x10, bytes(MAX_PAYLOAD)))
+        assert large > small
+        # 27+29 bytes at 19.2 kbps is roughly 23 ms.
+        assert ms(20) < large < ms(27)
+
+    def test_sender_does_not_hear_itself(self):
+        sim, channel, radio_a, radio_b = self._pair()
+        got = []
+        radio_a.set_receive_callback(got.append)
+        radio_a.send(Frame(1, 2, 0x10, b"x"))
+        sim.run_until_idle()
+        assert got == []
+
+    def test_broadcast_reaches_all_in_range(self):
+        sim = Simulator()
+        channel = Channel(sim, PerfectLinks())
+        radios = [channel.attach(make_mote(sim, i, i, 1)) for i in range(1, 4)]
+        got = {i: [] for i in range(3)}
+        for index, radio in enumerate(radios):
+            radio.set_receive_callback(got[index].append)
+        radios[0].send(Frame(1, BROADCAST_ID, 0x10, b"b"))
+        sim.run_until_idle()
+        assert len(got[1]) == 1 and len(got[2]) == 1
+        assert got[0] == []
+
+    def test_lossy_link_drops_some(self):
+        drops = 0
+        deliveries = 0
+        sim = Simulator(seed=42)
+        channel = Channel(sim, UniformLossLinks(prr=0.5))
+        a = make_mote(sim, 1, 1, 1)
+        b = make_mote(sim, 2, 2, 1)
+        radio_a = channel.attach(a)
+        radio_b = channel.attach(b)
+        got = []
+        radio_b.set_receive_callback(got.append)
+        for _ in range(200):
+            radio_a.send(Frame(1, 2, 0x10, b"x"))
+            sim.run_until_idle()
+        deliveries = len(got)
+        drops = channel.prr_drops
+        assert deliveries + drops == 200
+        assert 60 < deliveries < 140  # ~100 expected
+
+    def test_prr_override_forces_loss(self):
+        sim, channel, radio_a, radio_b = self._pair()
+        channel.prr_overrides[(1, 2)] = 0.0
+        got = []
+        radio_b.set_receive_callback(got.append)
+        for _ in range(5):
+            radio_a.send(Frame(1, 2, 0x10, b"x"))
+            sim.run_until_idle()
+        assert got == []
+        assert channel.prr_drops == 5
+
+    def test_disabled_radio_does_not_receive(self):
+        sim, channel, radio_a, radio_b = self._pair()
+        radio_b.enabled = False
+        got = []
+        radio_b.set_receive_callback(got.append)
+        radio_a.send(Frame(1, 2, 0x10, b"x"))
+        sim.run_until_idle()
+        assert got == []
+
+    def test_disabled_radio_send_fails(self):
+        sim, channel, radio_a, _ = self._pair()
+        radio_a.enabled = False
+        outcomes = []
+        radio_a.send(Frame(1, 2, 0x10, b"x"), outcomes.append)
+        sim.run_until_idle()
+        assert outcomes == [False]
+
+    def test_concurrent_send_rejected(self):
+        sim, channel, radio_a, _ = self._pair()
+        radio_a.send(Frame(1, 2, 0x10, b"x"))
+        with pytest.raises(RadioError):
+            radio_a.send(Frame(1, 2, 0x10, b"y"))
+        sim.run_until_idle()
+
+    def test_send_done_callback_fires_true(self):
+        sim, channel, radio_a, _ = self._pair()
+        outcomes = []
+        radio_a.send(Frame(1, 2, 0x10, b"x"), outcomes.append)
+        sim.run_until_idle()
+        assert outcomes == [True]
+
+    def test_out_of_range_not_delivered(self):
+        sim = Simulator()
+        channel = Channel(sim, PerfectLinks(range_m=0.5), grid_spacing_m=1.0)
+        a = make_mote(sim, 1, 1, 1)
+        b = make_mote(sim, 2, 5, 1)
+        radio_a = channel.attach(a)
+        radio_b = channel.attach(b)
+        got = []
+        radio_b.set_receive_callback(got.append)
+        radio_a.send(Frame(1, 2, 0x10, b"x"))
+        sim.run_until_idle()
+        assert got == []
+
+    def test_carrier_sense_defers_second_sender(self):
+        # With CSMA both frames should get through without collision.
+        sim = Simulator(seed=9)
+        channel = Channel(sim, PerfectLinks())
+        motes = [make_mote(sim, i, i, 1) for i in range(1, 4)]
+        radios = [channel.attach(m) for m in motes]
+        got = []
+        radios[2].set_receive_callback(got.append)
+        radios[0].send(Frame(1, 3, 0x10, b"a"))
+        radios[1].send(Frame(2, 3, 0x10, b"b"))
+        sim.run_until_idle()
+        assert len(got) + channel.collisions in (2, 1)
+        # In the common case carrier sense avoids the collision entirely.
+        assert len(got) >= 1
+
+    def test_duplicate_attach_rejected(self):
+        sim = Simulator()
+        channel = Channel(sim)
+        mote = make_mote(sim, 1, 1, 1)
+        channel.attach(mote)
+        with pytest.raises(RadioError):
+            channel.attach(mote)
+
+    def test_stats_counted(self):
+        sim, channel, radio_a, radio_b = self._pair()
+        radio_b.set_receive_callback(lambda f: None)
+        radio_a.send(Frame(1, 2, 0x10, b"x"))
+        sim.run_until_idle()
+        assert channel.frames_transmitted == 1
+        assert radio_a.frames_sent == 1
+        assert radio_b.frames_received == 1
+        assert radio_a.bytes_sent > 0

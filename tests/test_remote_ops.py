@@ -1,0 +1,179 @@
+"""Remote tuple-space operation tests: rout, rinp, rrdp over geo routing."""
+
+from repro.agilla.agent import AgentState
+from repro.agilla.fields import StringField, Value
+from repro.agilla.tuples import make_tuple
+from repro.sim.units import seconds
+
+from tests.util import corridor, run_agent, single_node
+
+
+def stack_values(agent):
+    return [f.value for f in agent.stack if isinstance(f, Value)]
+
+
+def user_tuples(net, at):
+    context_tags = {"tmp", "lit", "mag", "snd", "agt"}
+    return [
+        t
+        for t in net.tuples_at(at)
+        if not (isinstance(t.fields[0], StringField) and t.fields[0].text in context_tags)
+    ]
+
+
+class TestRemoteOps:
+    def test_rout_one_hop(self):
+        net = corridor(3)
+        agent = run_agent(
+            net, "pushc 9\npushc 1\npushloc 2 1\nrout\nwait", at=(1, 1)
+        )
+        assert agent.state == AgentState.WAIT_RXN
+        assert agent.condition == 1
+        assert make_tuple(Value(9)) in user_tuples(net, (2, 1))
+
+    def test_rout_multi_hop(self):
+        net = corridor(4)
+        agent = run_agent(
+            net, "pushc 9\npushc 1\npushloc 4 1\nrout\nwait", at=(1, 1), timeout_s=15.0
+        )
+        assert agent.condition == 1
+        assert make_tuple(Value(9)) in user_tuples(net, (4, 1))
+
+    def test_rout_to_self_loopback(self):
+        net = single_node()
+        agent = run_agent(net, "pushc 9\npushc 1\npushloc 1 1\nrout\nwait")
+        assert agent.condition == 1
+        assert make_tuple(Value(9)) in user_tuples(net, (1, 1))
+
+    def test_rout_triggers_remote_reactions(self):
+        # The FIREDETECTOR notifies a FIRETRACKER via rout (Figures 2/13).
+        net = corridor(2)
+        tracker_source = """
+            pushn fir
+            pusht LOCATION
+            pushc 2
+            pushc HANDLER
+            regrxn
+            wait
+            HANDLER pushc LED_RED_ON
+            putled
+            wait
+        """
+        run_agent(net, tracker_source, at=(2, 1), name="trk")
+        run_agent(
+            net, "pushn fir\nloc\npushc 2\npushloc 2 1\nrout\nhalt", at=(1, 1),
+            name="det",
+        )
+        net.run(3.0)
+        assert net.middleware((2, 1)).mote.leds.lit() == ["red"]
+
+    def test_rinp_hit_removes_and_returns(self):
+        net = corridor(2)
+        run_agent(net, "pushn key\npushc 7\npushc 2\nout\nhalt", at=(2, 1))
+        agent = run_agent(
+            net,
+            "pushn key\npusht VALUE\npushc 2\npushloc 2 1\nrinp\nwait",
+            at=(1, 1),
+        )
+        assert agent.condition == 1
+        assert stack_values(agent) == [7, 2]  # field 7, arity 2
+        assert user_tuples(net, (2, 1)) == []
+
+    def test_rinp_miss_sets_condition_zero(self):
+        net = corridor(2)
+        agent = run_agent(
+            net,
+            "pushn key\npusht VALUE\npushc 2\npushloc 2 1\nrinp\nwait",
+            at=(1, 1),
+        )
+        assert agent.condition == 0
+        assert agent.stack == []
+
+    def test_rrdp_hit_leaves_tuple(self):
+        net = corridor(2)
+        run_agent(net, "pushn key\npushc 7\npushc 2\nout\nhalt", at=(2, 1))
+        agent = run_agent(
+            net,
+            "pushn key\npusht VALUE\npushc 2\npushloc 2 1\nrrdp\nwait",
+            at=(1, 1),
+        )
+        assert agent.condition == 1
+        assert len(user_tuples(net, (2, 1))) == 1
+
+    def test_timeout_after_retransmits(self):
+        net = corridor(2)
+        net.channel.prr_overrides[(1, 2)] = 0.0  # requests never arrive
+        agent = run_agent(
+            net,
+            "pushc 9\npushc 1\npushloc 2 1\nrout\nwait",
+            at=(1, 1),
+            timeout_s=1.0,
+        )
+        assert agent.state == AgentState.REMOTE_WAIT
+        # Initiator timeout is 2 s with up to 2 retransmits: ~6 s total.
+        net.run_until(lambda: agent.state == AgentState.WAIT_RXN, 10.0)
+        assert agent.condition == 0
+        manager = net.middleware((1, 1)).remote_ops
+        assert manager.timeouts == 1
+        assert manager.retransmits == 2
+
+    def test_lost_reply_retransmit_can_duplicate_rout(self):
+        # Replies lost: the initiator retransmits; the destination performs
+        # the insert again (the paper accepts duplicate tuples).
+        net = corridor(2)
+        net.channel.prr_overrides[(2, 1)] = 0.0  # replies never return
+        agent = run_agent(
+            net,
+            "pushc 9\npushc 1\npushloc 2 1\nrout\nwait",
+            at=(1, 1),
+            timeout_s=1.0,
+        )
+        net.run_until(lambda: agent.state == AgentState.WAIT_RXN, 10.0)
+        assert agent.condition == 0  # no reply ever came back
+        duplicates = [t for t in user_tuples(net, (2, 1)) if t == make_tuple(Value(9))]
+        assert len(duplicates) == 3  # original + 2 retransmits
+
+    def test_dedup_cache_extension_prevents_duplicates(self):
+        net = corridor(2)
+        net.middleware((2, 1)).remote_ops.dedup_enabled = True
+        net.channel.prr_overrides[(2, 1)] = 0.0
+        agent = run_agent(
+            net,
+            "pushc 9\npushc 1\npushloc 2 1\nrout\nwait",
+            at=(1, 1),
+            timeout_s=1.0,
+        )
+        net.run_until(lambda: agent.state == AgentState.WAIT_RXN, 10.0)
+        duplicates = [t for t in user_tuples(net, (2, 1)) if t == make_tuple(Value(9))]
+        assert len(duplicates) == 1
+        assert net.middleware((2, 1)).remote_ops.dedup_hits == 2
+
+    def test_oversized_remote_payload_traps(self):
+        # Five locations (25 B of fields) exceed the remote-op message limit.
+        net = corridor(2)
+        source = (
+            "\n".join(f"pushloc {i} {i}" for i in range(5))
+            + "\npushc 5\npushloc 2 1\nrout\nhalt"
+        )
+        agent = run_agent(net, source, at=(1, 1))
+        assert agent.state == AgentState.DEAD
+        assert "remote-operation limit" in agent.trap
+
+    def test_agent_death_cancels_pending(self):
+        net = corridor(2)
+        net.channel.prr_overrides[(1, 2)] = 0.0
+        agent = run_agent(
+            net, "pushc 9\npushc 1\npushloc 2 1\nrout\nwait", at=(1, 1), timeout_s=0.5
+        )
+        manager = net.middleware((1, 1)).remote_ops
+        net.middleware((1, 1)).agent_manager.kill(agent, "test")
+        assert manager._pending == {}
+
+    def test_two_messages_per_operation(self):
+        # §2.2: "a remote tuple space operation entails the transmission of
+        # only two messages, a request and a reply".
+        net = corridor(2)
+        before = net.radio_messages()
+        run_agent(net, "pushc 9\npushc 1\npushloc 2 1\nrout\nwait", at=(1, 1))
+        net.run(1.0)
+        assert net.radio_messages() - before == 2

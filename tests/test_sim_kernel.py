@@ -1,0 +1,166 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator, ms, seconds, to_ms, to_seconds, us
+
+
+class TestUnits:
+    def test_seconds(self):
+        assert seconds(1) == 1_000_000
+        assert seconds(0.5) == 500_000
+
+    def test_ms(self):
+        assert ms(1) == 1_000
+        assert ms(2.5) == 2_500
+
+    def test_us_rounds(self):
+        assert us(1.4) == 1
+        assert us(1.6) == 2
+
+    def test_round_trips(self):
+        assert to_seconds(seconds(3.25)) == 3.25
+        assert to_ms(ms(42)) == 42.0
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(300, order.append, "c")
+        sim.schedule(100, order.append, "a")
+        sim.schedule(200, order.append, "b")
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_tick_fires_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(50, order.append, tag)
+        sim.run_until_idle()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1234, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [1234]
+        assert sim.now == 1234
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(10, fired.append, 1)
+        handle.cancel()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run_until_idle()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_call_now_runs_at_current_tick(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(10, lambda: sim.call_now(lambda: times.append(sim.now)))
+        sim.run_until_idle()
+        assert times == [10]
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                sim.schedule(5, chain, depth + 1)
+
+        sim.schedule(0, chain, 0)
+        sim.run_until_idle()
+        assert seen == [0, 1, 2, 3]
+
+
+class TestRunLimits:
+    def test_run_duration_stops_at_deadline(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "in")
+        sim.schedule(5000, fired.append, "out")
+        sim.run(duration=1000)
+        assert fired == ["in"]
+        assert sim.now == 1000  # clock advanced to the deadline
+        sim.run_until_idle()
+        assert fired == ["in", "out"]
+
+    def test_run_until_absolute(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run(until=400)
+        assert sim.now == 400
+
+    def test_duration_and_until_exclusive(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.run(duration=10, until=20)
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i + 1, fired.append, i)
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_stop_during_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "a")
+        sim.schedule(20, sim.stop)
+        sim.schedule(30, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+
+    def test_pending_events_counts_uncancelled(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        handle = sim.schedule(20, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRandomStreams:
+    def test_streams_are_deterministic_across_runs(self):
+        a = Simulator(seed=7).rng("channel").random()
+        b = Simulator(seed=7).rng("channel").random()
+        assert a == b
+
+    def test_streams_differ_by_name(self):
+        sim = Simulator(seed=7)
+        assert sim.rng("a").random() != sim.rng("b").random()
+
+    def test_streams_differ_by_seed(self):
+        a = Simulator(seed=1).rng("x").random()
+        b = Simulator(seed=2).rng("x").random()
+        assert a != b
+
+    def test_same_name_returns_same_stream(self):
+        sim = Simulator()
+        assert sim.rng("x") is sim.rng("x")

@@ -1,0 +1,140 @@
+"""Unit tests for the TinyOS-like task/timer substrate."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.tinyos import Cpu, TaskQueue, Timer
+
+
+class TestCpu:
+    def test_cycles_to_us_at_8mhz(self):
+        cpu = Cpu(Simulator())
+        assert cpu.cycles_to_us(8) == 1
+        assert cpu.cycles_to_us(800) == 100
+
+    def test_minimum_one_microsecond(self):
+        cpu = Cpu(Simulator())
+        assert cpu.cycles_to_us(1) == 1
+
+    def test_execute_advances_busy_horizon(self):
+        sim = Simulator()
+        cpu = Cpu(sim)
+        done = []
+        cpu.execute(800, done.append, "a")  # 100 us
+        cpu.execute(800, done.append, "b")  # serialized: finishes at 200 us
+        sim.run_until_idle()
+        assert done == ["a", "b"]
+        assert sim.now == 200
+        assert cpu.busy_until == 200
+
+    def test_work_serializes_even_across_idle_gaps(self):
+        sim = Simulator()
+        cpu = Cpu(sim)
+        finish_times = []
+        sim.schedule(50, lambda: cpu.execute(80, lambda: finish_times.append(sim.now)))
+        sim.run_until_idle()
+        assert finish_times == [60]  # starts at 50 (idle), takes 10 us
+
+    def test_idle_property(self):
+        sim = Simulator()
+        cpu = Cpu(sim)
+        assert cpu.idle
+        cpu.execute(8000, lambda: None)
+        assert not cpu.idle
+        sim.run_until_idle()
+        assert cpu.idle
+
+    def test_cycle_accounting(self):
+        sim = Simulator()
+        cpu = Cpu(sim)
+        cpu.execute(100, lambda: None)
+        cpu.execute(200, lambda: None)
+        assert cpu.cycles_executed == 300
+
+
+class TestTaskQueue:
+    def test_dispatch_overhead_added(self):
+        sim = Simulator()
+        queue = TaskQueue(Cpu(sim))
+        queue.post(760, lambda: None)  # +40 dispatch = 800 cycles = 100 us
+        sim.run_until_idle()
+        assert sim.now == 100
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        queue = TaskQueue(Cpu(sim))
+        order = []
+        queue.post(10, order.append, 1)
+        queue.post(10, order.append, 2)
+        queue.post(10, order.append, 3)
+        sim.run_until_idle()
+        assert order == [1, 2, 3]
+
+    def test_counts_tasks(self):
+        sim = Simulator()
+        queue = TaskQueue(Cpu(sim))
+        for _ in range(5):
+            queue.post(1, lambda: None)
+        assert queue.tasks_posted == 5
+
+
+class TestTimer:
+    def test_one_shot(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_one_shot(500)
+        sim.run_until_idle()
+        assert fired == [500]
+
+    def test_periodic(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_periodic(100)
+        sim.run(duration=350)
+        timer.stop()
+        assert fired == [100, 200, 300]
+
+    def test_stop_cancels(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start_one_shot(100)
+        timer.stop()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_restart_replaces_pending(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_one_shot(100)
+        timer.start_one_shot(300)
+        sim.run_until_idle()
+        assert fired == [300]
+
+    def test_running_property(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.running
+        timer.start_one_shot(10)
+        assert timer.running
+        sim.run_until_idle()
+        assert not timer.running
+
+    def test_rejects_bad_arguments(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        with pytest.raises(SimulationError):
+            timer.start_one_shot(-5)
+        with pytest.raises(SimulationError):
+            timer.start_periodic(0)
+
+    def test_fired_count(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.start_periodic(10)
+        sim.run(duration=55)
+        assert timer.fired_count == 5

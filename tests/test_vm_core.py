@@ -1,0 +1,279 @@
+"""VM execution tests: stack machine, control flow, context instructions."""
+
+import pytest
+
+from repro.agilla.agent import AgentState
+from repro.agilla.fields import (
+    AgentIdField,
+    LocationField,
+    Reading,
+    StringField,
+    Value,
+)
+from repro.location import Location
+from repro.mote.environment import ConstantField, Environment
+from repro.mote.sensors import TEMPERATURE
+from repro.sim.units import seconds
+
+from tests.util import corridor, run_agent, single_node
+
+
+def stack_values(agent):
+    return [f.value for f in agent.stack if isinstance(f, Value)]
+
+
+class TestPushAndStack:
+    def test_pushc_pushcl(self):
+        agent = run_agent(single_node(), "pushc 7\npushcl -300\nwait")
+        assert agent.stack == [Value(7), Value(-300)]
+
+    def test_pushn_pushloc(self):
+        agent = run_agent(single_node(), "pushn fir\npushloc 5 1\nwait")
+        assert agent.stack == [StringField("fir"), LocationField(Location(5, 1))]
+
+    def test_pop_copy_swap(self):
+        agent = run_agent(
+            single_node(), "pushc 1\npushc 2\npushc 3\npop\ncopy\nswap\nwait"
+        )
+        assert stack_values(agent) == [1, 2, 2]  # pop 3; copy 2; swap no-op here
+        agent2 = run_agent(single_node(seed=1), "pushc 1\npushc 2\nswap\nwait")
+        assert stack_values(agent2) == [2, 1]
+
+    def test_depth(self):
+        agent = run_agent(single_node(), "pushc 9\npushc 9\ndepth\nwait")
+        assert stack_values(agent)[-1] == 2
+
+    def test_stack_overflow_traps(self):
+        source = "\n".join(["pushc 1"] * 17) + "\nwait"
+        agent = run_agent(single_node(), source)
+        assert agent.state == AgentState.DEAD
+        assert "overflow" in agent.trap
+
+    def test_stack_underflow_traps(self):
+        agent = run_agent(single_node(), "pop\nhalt")
+        assert agent.state == AgentState.DEAD
+        assert "underflow" in agent.trap
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "program, expected",
+        [
+            ("pushc 2\npushc 3\nadd", 5),
+            ("pushc 7\npushc 3\nsub", 4),
+            ("pushc 6\npushc 7\nmul", 42),
+            ("pushc 12\npushc 10\nand", 8),
+            ("pushc 12\npushc 3\nor", 15),
+            ("pushc 12\npushc 10\nxor", 6),
+            ("pushc 0\nnot", -1),
+            ("pushc 41\ninc", 42),
+            ("pushc 43\ndec", 42),
+        ],
+    )
+    def test_binary_ops(self, program, expected):
+        agent = run_agent(single_node(), program + "\nwait")
+        assert stack_values(agent) == [expected]
+
+    def test_int16_wraparound(self):
+        agent = run_agent(single_node(), "pushcl 32767\ninc\nwait")
+        assert stack_values(agent) == [-32768]
+
+    def test_arithmetic_on_string_traps(self):
+        agent = run_agent(single_node(), "pushn abc\npushc 1\nadd\nhalt")
+        assert agent.state == AgentState.DEAD
+        assert "numeric" in agent.trap
+
+
+class TestComparisons:
+    def test_clt_matches_paper_figure13(self):
+        # Stack: (reading, 200); clt sets condition when 200 < reading.
+        net = single_node(environment=Environment({TEMPERATURE: ConstantField(500)}))
+        agent = run_agent(net, "pushc TEMPERATURE\nsense\npushcl 200\nclt\ncpush\nwait")
+        assert stack_values(agent)[-1] == 1
+
+    def test_clt_false_when_cool(self):
+        net = single_node(environment=Environment({TEMPERATURE: ConstantField(50)}))
+        agent = run_agent(net, "pushc TEMPERATURE\nsense\npushcl 200\nclt\ncpush\nwait")
+        assert stack_values(agent)[-1] == 0
+
+    @pytest.mark.parametrize(
+        "op, a, b, expected",
+        [
+            ("ceq", 5, 5, 1),
+            ("ceq", 5, 6, 0),
+            ("cneq", 5, 6, 1),
+            ("cgt", 3, 7, 1),  # top(7) > below(3)... wait: a pushed first
+            ("clte", 7, 7, 1),
+            ("cgte", 9, 5, 0),
+        ],
+    )
+    def test_comparison_table(self, op, a, b, expected):
+        # Push a then b: top of stack is b. Predicate applies (top, below).
+        agent = run_agent(single_node(), f"pushc {a}\npushc {b}\n{op}\ncpush\nwait")
+        assert stack_values(agent)[-1] == expected
+
+    def test_ceq_structural_for_strings(self):
+        agent = run_agent(single_node(), "pushn abc\npushn abc\nceq\ncpush\nwait")
+        assert stack_values(agent)[-1] == 1
+
+    def test_ordered_compare_of_strings_traps(self):
+        agent = run_agent(single_node(), "pushn abc\npushn abd\nclt\nhalt")
+        assert agent.state == AgentState.DEAD
+
+
+class TestControlFlow:
+    def test_rjump_skips(self):
+        agent = run_agent(
+            single_node(), "rjump SKIP\npushc 1\nSKIP pushc 2\nwait"
+        )
+        assert stack_values(agent) == [2]
+
+    def test_rjumpc_taken_only_on_condition(self):
+        source = (
+            "pushc 1\npushc 1\nceq\n"  # condition = 1
+            "rjumpc TAKEN\npushc 99\nTAKEN pushc 42\nwait"
+        )
+        agent = run_agent(single_node(), source)
+        assert stack_values(agent) == [42]
+
+    def test_rjumpc_not_taken(self):
+        source = (
+            "pushc 1\npushc 2\nceq\n"  # condition = 0
+            "rjumpc SKIP\npushc 99\nSKIP pushc 42\nwait"
+        )
+        agent = run_agent(single_node(), source)
+        assert stack_values(agent) == [99, 42]
+
+    def test_jump_via_stack_address(self):
+        source = "pushc END\njump\npushc 1\nEND pushc 2\nwait"
+        agent = run_agent(single_node(), source)
+        assert stack_values(agent) == [2]
+
+    def test_loop_with_counter(self):
+        source = """
+            pushc 0
+            LOOP inc
+            copy
+            pushc 5
+            ceq
+            cpush
+            pushc 0
+            ceq
+            rjumpc LOOP
+            wait
+        """
+        agent = run_agent(single_node(), source)
+        assert stack_values(agent) == [5]
+
+    def test_pc_past_end_traps(self):
+        agent = run_agent(single_node(), "pushc 1\npop")
+        assert agent.state == AgentState.DEAD
+        assert "fetch" in agent.trap
+
+    def test_halt_frees_resources(self):
+        net = single_node()
+        middleware = net.middleware((1, 1))
+        agent = run_agent(net, "halt")
+        assert agent.state == AgentState.DEAD
+        assert agent.death_reason == "halt"
+        assert middleware.agent_manager.agents == {}
+        assert middleware.instruction_manager.free_blocks == 20
+
+
+class TestContextInstructions:
+    def test_loc_pushes_host_location(self):
+        agent = run_agent(single_node(), "loc\nwait")
+        assert agent.stack == [LocationField(Location(1, 1))]
+
+    def test_aid_pushes_agent_id(self):
+        agent = run_agent(single_node(), "aid\nwait")
+        assert agent.stack == [AgentIdField(agent.id)]
+
+    def test_numnbrs_and_getnbr(self):
+        net = corridor(3)
+        agent = run_agent(net, "numnbrs\npushc 0\ngetnbr\nwait", at=(2, 1))
+        # (2,1) has neighbors (1,1) and (3,1).
+        assert agent.stack[0] == Value(2)
+        assert agent.stack[1] == LocationField(Location(1, 1))
+        assert agent.condition == 1
+
+    def test_getnbr_out_of_range_sets_condition_zero(self):
+        net = corridor(2)
+        agent = run_agent(net, "pushc 9\ngetnbr\nwait", at=(1, 1))
+        assert agent.condition == 0
+        assert agent.stack == [LocationField(Location(1, 1))]
+
+    def test_randnbr(self):
+        net = corridor(3)
+        agent = run_agent(net, "randnbr\nwait", at=(2, 1))
+        assert agent.condition == 1
+        assert agent.stack[0].location in (Location(1, 1), Location(3, 1))
+
+    def test_randnbr_no_neighbors(self):
+        agent = run_agent(single_node(), "randnbr\nwait")
+        assert agent.condition == 0
+
+    def test_rand_is_bounded(self):
+        agent = run_agent(single_node(), "rand\nwait")
+        assert 0 <= agent.stack[0].value < 32768
+
+    def test_sense_pushes_reading(self):
+        net = single_node(environment=Environment({TEMPERATURE: ConstantField(321)}))
+        agent = run_agent(net, "pushc TEMPERATURE\nsense\nwait")
+        assert agent.stack == [Reading(TEMPERATURE, 321)]
+
+    def test_putled(self):
+        net = single_node()
+        run_agent(net, "pushc LED_RED_ON\nputled\nwait")
+        assert net.middleware((1, 1)).mote.leds.lit() == ["red"]
+
+
+class TestHeap:
+    def test_setvar_getvar(self):
+        agent = run_agent(single_node(), "pushc 42\nsetvar 3\ngetvar 3\nwait")
+        assert stack_values(agent) == [42]
+
+    def test_empty_slot_traps(self):
+        agent = run_agent(single_node(), "getvar 0\nhalt")
+        assert agent.state == AgentState.DEAD
+        assert "empty" in agent.trap
+
+    def test_heap_holds_any_field_type(self):
+        agent = run_agent(single_node(), "pushloc 3 4\nsetvar 0\ngetvar 0\nwait")
+        assert agent.stack == [LocationField(Location(3, 4))]
+
+
+class TestSleepAndScheduling:
+    def test_sleep_parks_and_wakes(self):
+        net = single_node()
+        # 8 ticks of 1/8 s = 1 second.
+        agent = run_agent(net, "pushc 8\nsleep\npushc 5\nwait")
+        assert agent.state == AgentState.SLEEPING
+        started = net.sim.now
+        net.run_until(lambda: agent.state == AgentState.WAIT_RXN, 5.0)
+        assert stack_values(agent) == [5]
+        assert net.sim.now - started >= seconds(0.9)
+
+    def test_round_robin_interleaves_agents(self):
+        net = single_node()
+        source = "pushc LED_GREEN_TOGGLE\nputled\nwait"
+        first = run_agent(net, source, name="one")
+        second = run_agent(net, source, name="two")
+        assert first.state == second.state == AgentState.WAIT_RXN
+        engine = net.middleware((1, 1)).engine
+        assert engine.context_switches >= 2
+
+    def test_agent_limit_enforced(self):
+        from repro.errors import AgentLimitError
+        from repro.agilla.assembler import assemble
+
+        net = single_node()
+        for index in range(4):
+            net.inject(assemble("wait", name=f"a{index}"), at=(1, 1))
+        with pytest.raises(AgentLimitError):
+            net.inject(assemble("wait", name="overflow"), at=(1, 1))
+
+    def test_instructions_counted(self):
+        net = single_node()
+        agent = run_agent(net, "pushc 1\npushc 2\nadd\nwait")
+        assert agent.instructions_executed == 4

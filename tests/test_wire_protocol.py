@@ -1,0 +1,197 @@
+"""Tests for the migration wire format and end-to-end ablation mode."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agilla.agent import Agent, AgentState
+from repro.agilla.assembler import assemble
+from repro.agilla.fields import LocationField, StringField, TypeWildcard, Value
+from repro.agilla.fields import FieldType
+from repro.agilla.params import AgillaParams
+from repro.agilla.reactions import Reaction
+from repro.agilla.tuples import make_template
+from repro.agilla.wire import (
+    CODE_CHUNK_BYTES,
+    IncomingAgent,
+    decode_ack,
+    encode_ack,
+    messages_from_image,
+    serialize_agent,
+)
+from repro.location import Location
+from repro.net import am
+from repro.radio.frame import MAX_PAYLOAD
+
+from tests.util import corridor
+
+
+def loaded_agent(code_size=44):
+    agent = Agent(0x0BEE, name="ldx")
+    agent.pc = 17
+    agent.condition = 1
+    agent.stack = [Value(1), LocationField(Location(2, 3)), StringField("abc")]
+    agent.heap = {0: Value(9), 5: LocationField(Location(7, 7))}
+    template = make_template(StringField("fir"), TypeWildcard(FieldType.LOCATION))
+    reactions = [Reaction(agent.id, template, 40)]
+    code = bytes(range(code_size))
+    return agent, code, reactions
+
+
+def replay(messages, src=1):
+    incoming = IncomingAgent(src, messages[0].payload)
+    for message in messages:
+        incoming.messages[message.seq] = message
+        if message.seq != 0:
+            incoming.accept(message.am_type, message.payload)
+    return incoming
+
+
+class TestSerializeRoundTrip:
+    def test_strong_move_round_trips_everything(self):
+        agent, code, reactions = loaded_agent()
+        messages = serialize_agent(agent, "smove", Location(5, 1), code, reactions)
+        incoming = replay(messages)
+        assert incoming.complete
+        image = incoming.build()
+        assert image.agent_id == agent.id
+        assert image.pc == agent.pc
+        assert image.condition == agent.condition
+        assert image.code == code
+        assert image.stack == agent.stack
+        assert image.heap == agent.heap
+        assert image.reactions == [(40, reactions[0].template)]
+        assert image.kind == "smove"
+        assert image.final_dest == Location(5, 1)
+        assert image.species == "ldx"
+
+    def test_weak_move_ships_code_only(self):
+        agent, code, reactions = loaded_agent()
+        messages = serialize_agent(agent, "wmove", Location(5, 1), code, reactions)
+        types = [m.am_type for m in messages]
+        assert am.AM_MIGRATE_HEAP not in types
+        assert am.AM_MIGRATE_STACK not in types
+        assert am.AM_MIGRATE_RXN not in types
+        image = replay(messages).build()
+        assert image.stack == [] and image.heap == {}
+        assert image.pc == 0
+        assert image.is_weak
+
+    def test_all_payloads_fit_tinyos_frames(self):
+        agent, code, reactions = loaded_agent(code_size=200)
+        for kind in ("smove", "wmove", "sclone", "wclone"):
+            for message in serialize_agent(agent, kind, Location(5, 1), code, reactions):
+                assert len(message.payload) <= MAX_PAYLOAD
+
+    def test_minimum_two_data_messages(self):
+        # Paper §3.2: "a migration requires two messages: one state and one
+        # code" — plus our explicit commit.
+        agent = Agent(1, name="min")
+        messages = serialize_agent(agent, "smove", Location(2, 1), b"\x00", [])
+        assert [m.am_type for m in messages] == [
+            am.AM_MIGRATE_STATE,
+            am.AM_MIGRATE_CODE,
+            am.AM_MIGRATE_COMMIT,
+        ]
+
+    def test_sequence_numbers_are_contiguous(self):
+        agent, code, reactions = loaded_agent(code_size=100)
+        messages = serialize_agent(agent, "sclone", Location(5, 1), code, reactions)
+        assert [m.seq for m in messages] == list(range(len(messages)))
+
+    def test_out_of_order_and_duplicate_delivery(self):
+        agent, code, reactions = loaded_agent()
+        messages = serialize_agent(agent, "smove", Location(5, 1), code, reactions)
+        incoming = IncomingAgent(1, messages[0].payload)
+        for message in reversed(messages[1:]):
+            incoming.accept(message.am_type, message.payload)
+            incoming.accept(message.am_type, message.payload)  # duplicate
+        assert incoming.complete
+        assert incoming.build().code == code
+
+    def test_incomplete_transfer_refuses_to_build(self):
+        from repro.errors import NetworkError
+
+        agent, code, reactions = loaded_agent()
+        messages = serialize_agent(agent, "smove", Location(5, 1), code, reactions)
+        incoming = IncomingAgent(1, messages[0].payload)
+        with pytest.raises(NetworkError):
+            incoming.build()
+
+    def test_relay_reserialization_is_identical(self):
+        agent, code, reactions = loaded_agent()
+        messages = serialize_agent(agent, "smove", Location(5, 1), code, reactions)
+        image = replay(messages).build()
+        relayed = messages_from_image(image)
+        assert [m.payload for m in relayed] == [m.payload for m in messages]
+
+    def test_ack_codec(self):
+        assert decode_ack(encode_ack(0xBEEF, 7)) == (0xBEEF, 7)
+
+    @given(
+        code=st.binary(min_size=1, max_size=300),
+        kind=st.sampled_from(["smove", "wmove", "sclone", "wclone"]),
+        pc=st.integers(min_value=0, max_value=299),
+        species=st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, code, kind, pc, species):
+        agent = Agent(0x1234, name=species)
+        agent.pc = pc
+        messages = serialize_agent(agent, kind, Location(3, 3), code, [])
+        image = replay(messages).build()
+        assert image.code == code
+        assert image.species == species
+        if kind in ("smove", "sclone"):
+            assert image.pc == pc
+
+
+class TestEndToEndMode:
+    def params(self):
+        return AgillaParams(e2e_migration=True)
+
+    def test_e2e_arrives_on_perfect_links(self):
+        net = corridor(3, params=self.params())
+        agent = net.inject(
+            assemble("pushloc 3 1\nsmove\nwait", name="eee"), at=(1, 1)
+        )
+        net.run(5.0)
+        assert agent.state == AgentState.DEAD  # optimistic custody transfer
+        arrived = net.agents_at((3, 1))
+        assert len(arrived) == 1
+        assert arrived[0].name == "eee"
+
+    def test_e2e_uses_no_acks(self):
+        net = corridor(2, params=self.params())
+        net.inject(assemble("pushloc 2 1\nsmove\nwait", name="eee"), at=(1, 1))
+        net.run(5.0)
+        ack_frames = [
+            1
+            for radio in net.channel.radios
+            if radio.frames_sent and radio.mote.id == 2
+        ]
+        # The receiver never transmits: no acks in e2e mode.
+        assert net.middleware((2, 1)).mote.radio.frames_sent == 0
+
+    def test_e2e_loses_agents_on_lossy_links(self):
+        # The §3.2 justification: a single lost message silently loses the
+        # whole agent (the sender killed its copy optimistically).
+        net = corridor(2, params=self.params(), lossless=False)
+        net.channel.prr_overrides[(1, 2)] = 0.0
+        agent = net.inject(
+            assemble("pushloc 2 1\nsmove\nwait", name="gon"), at=(1, 1)
+        )
+        net.run(5.0)
+        assert agent.death_reason == "moved (e2e, unconfirmed)"
+        assert net.agents_at((2, 1)) == []  # the agent is simply gone
+
+    def test_e2e_clone_parent_resumes_optimistically(self):
+        net = corridor(2, params=self.params())
+        agent = net.inject(
+            assemble("pushloc 2 1\nsclone\nwait", name="cln"), at=(1, 1)
+        )
+        net.run(5.0)
+        assert agent.state == AgentState.WAIT_RXN
+        assert agent.condition == 1  # optimism, not knowledge
