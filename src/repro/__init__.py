@@ -32,8 +32,24 @@ from repro.agilla import (
 )
 from repro.location import BASE_STATION_LOCATION, Location
 from repro.mote import Environment, FireField, HotspotField, MovingTargetField
-from repro.network import GridNetwork, Node, build_grid_network
+from repro.network import (
+    Deployment,
+    GridNetwork,
+    Node,
+    SensorNetwork,
+    build_grid_network,
+    build_network,
+)
 from repro.sim import Simulator
+from repro.topology import (
+    ClusteredTopology,
+    ExplicitTopology,
+    GridTopology,
+    LineTopology,
+    RandomUniformTopology,
+    Topology,
+    from_spec,
+)
 
 __version__ = "1.0.0"
 
@@ -54,9 +70,19 @@ __all__ = [
     "FireField",
     "HotspotField",
     "MovingTargetField",
+    "Deployment",
     "GridNetwork",
     "Node",
+    "SensorNetwork",
     "build_grid_network",
+    "build_network",
     "Simulator",
+    "Topology",
+    "GridTopology",
+    "LineTopology",
+    "RandomUniformTopology",
+    "ClusteredTopology",
+    "ExplicitTopology",
+    "from_spec",
     "__version__",
 ]

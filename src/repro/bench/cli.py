@@ -4,22 +4,60 @@ Usage::
 
     python -m repro.bench fig9 --runs 100
     python -m repro.bench all --runs 50 --out results/
+    python -m repro.bench scale --nodes 25,400,1000
     agilla-bench fig12
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
-from repro.bench import ablations, claims, figures, mate_compare, memory_report
+from repro.bench import ablations, claims, figures, mate_compare, memory_report, scale
 from repro.bench.reporting import Table
 
 
 def _fig9_10(args) -> list[Table]:
     data = figures.run_migration_vs_remote(runs=args.runs, seed=args.seed)
     return [figures.fig9_table(data), figures.fig10_table(data)]
+
+
+def _node_counts(text: str) -> tuple[int, ...]:
+    try:
+        counts = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated node counts (e.g. 25,400,1000): {text!r}"
+        ) from None
+    if not counts or any(count < 1 for count in counts):
+        raise argparse.ArgumentTypeError(f"node counts must be positive: {text!r}")
+    return counts
+
+
+def _topology_kinds(text: str) -> tuple[str, ...]:
+    kinds = tuple(part.strip() for part in text.split(",") if part.strip())
+    unknown = [kind for kind in kinds if kind not in scale.TOPOLOGY_KINDS]
+    if not kinds or unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown topology kinds {unknown or text!r} "
+            f"(expected a comma-separated subset of {', '.join(scale.TOPOLOGY_KINDS)})"
+        )
+    return kinds
+
+
+def _scale(args) -> list[Table]:
+    json_path = os.path.join(args.out, "BENCH_scale.json") if args.out else "BENCH_scale.json"
+    return [
+        scale.run_scale(
+            node_counts=args.nodes,
+            topologies=args.topologies,
+            seed=args.seed,
+            duration_s=args.duration,
+            json_path=json_path,
+        )
+    ]
 
 
 EXPERIMENTS = {
@@ -39,6 +77,7 @@ EXPERIMENTS = {
         ablations.run_ablation_retransmit(runs=max(5, args.runs // 3), seed=args.seed)
     ],
     "ablation-blocks": lambda args: [ablations.run_ablation_code_blocks()],
+    "scale": _scale,
 }
 
 
@@ -59,10 +98,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", default=None, help="also save tables under this directory"
     )
+    parser.add_argument(
+        "--nodes",
+        type=_node_counts,
+        default=scale.DEFAULT_NODE_COUNTS,
+        help="scale sweep: comma-separated node counts (e.g. 25,400,1000)",
+    )
+    parser.add_argument(
+        "--topologies",
+        type=_topology_kinds,
+        default=scale.DEFAULT_TOPOLOGIES,
+        help="scale sweep: comma-separated topology kinds",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=scale.DEFAULT_DURATION_S,
+        help="scale sweep: simulated seconds per cell",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "all":
-        names = sorted(set(EXPERIMENTS) - {"fig10"})  # fig9 emits both
+        # fig9 emits fig10 too; the scale sweep is its own, post-paper run.
+        names = sorted(set(EXPERIMENTS) - {"fig10", "scale"})
     else:
         names = [args.experiment]
 

@@ -28,6 +28,11 @@ class NetworkError(ReproError):
     """Misuse of the network stack (bad address, no route, oversized frame)."""
 
 
+class TopologyError(ReproError):
+    """An invalid deployment topology (duplicate nodes, asymmetric edges,
+    malformed spec)."""
+
+
 class AgillaError(ReproError):
     """Base class for middleware-level errors."""
 

@@ -8,7 +8,7 @@ from repro.net.addresses import (
     grid_locations,
 )
 from repro.net.beacons import BeaconService
-from repro.net.filters import GridNeighborFilter, bridge_edge
+from repro.net.filters import GridNeighborFilter, NeighborSetFilter, bridge_edge
 from repro.net.georouting import (
     DEFAULT_EPSILON,
     DEFAULT_TTL,
@@ -27,6 +27,7 @@ __all__ = [
     "grid_locations",
     "BeaconService",
     "GridNeighborFilter",
+    "NeighborSetFilter",
     "bridge_edge",
     "DEFAULT_EPSILON",
     "DEFAULT_TTL",

@@ -9,8 +9,29 @@ from immediate neighbors based on the grid topology" (§4).
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.net.addresses import Location
 from repro.radio.frame import Frame
+
+
+class NeighborSetFilter:
+    """Drop frames whose sender id is not in a fixed neighbor set.
+
+    The topology-agnostic generalization of :class:`GridNeighborFilter`: the
+    deployment layer derives each node's accepted senders from the topology's
+    neighbor relation (plus any bridge edges) once, and the per-frame check is
+    a single set lookup.  Unknown senders are dropped.
+    """
+
+    def __init__(self, accepted_ids: Iterable[int]):
+        self.accepted = frozenset(accepted_ids)
+
+    def __call__(self, frame: Frame) -> bool:
+        return frame.src in self.accepted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NeighborSetFilter accepts={sorted(self.accepted)}>"
 
 
 class GridNeighborFilter:

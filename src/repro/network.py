@@ -1,10 +1,17 @@
-"""Network builder: the paper's testbed in one call.
+"""Network builder: deploy the Agilla middleware over any topology.
 
-:class:`GridNetwork` reproduces the experimental setup of §4: a 5×5 grid of
-MICA2 motes (lower-left at (1,1)) on a shared tabletop radio channel, with
-multi-hop synthesized by the software grid filter, plus a base station at
-(0,0) bridged to mote (1,1) from which agents are injected (Figure 8 injects
-into node (0,0); five hops along the bottom row reaches (5,1)).
+:class:`SensorNetwork` (alias :class:`Deployment`) wires a
+:class:`~repro.topology.Topology` — node ids, locations, physical positions,
+and neighbor sets — to the simulator, radio channel, per-node network stacks,
+and middleware.  Multi-hop structure is synthesized the way the paper did it
+(§4): every mote shares one channel and a receive-side
+:class:`~repro.net.filters.NeighborSetFilter` drops frames from non-neighbors.
+
+:class:`GridNetwork` is the backward-compatible specialization reproducing the
+experimental setup of §4: a 5×5 grid of MICA2 motes (lower-left at (1,1)) plus
+a base station at (0,0) bridged to mote (1,1) from which agents are injected
+(Figure 8 injects into node (0,0); five hops along the bottom row reaches
+(5,1)).
 
 An optional *physical* mode spaces the motes out for real and drops the
 filter — an extension for studying the same protocols over distance-dependent
@@ -20,22 +27,29 @@ from repro.agilla.agent import Agent
 from repro.agilla.assembler import Program
 from repro.agilla.middleware import AgillaMiddleware
 from repro.agilla.params import AgillaParams
-from repro.location import BASE_STATION_LOCATION, Location, grid_locations
+from repro.errors import NetworkError
+from repro.location import BASE_STATION_LOCATION, Location
 from repro.mote.environment import Environment
 from repro.mote.mote import Mote
 from repro.net.beacons import BeaconService
-from repro.net.filters import GridNeighborFilter, bridge_edge
+from repro.net.filters import NeighborSetFilter, bridge_edge
 from repro.net.georouting import GeoMessaging, GeoRouter
 from repro.net.stack import NetworkStack
 from repro.radio.channel import Channel
 from repro.radio.linkmodels import DistancePrrLinks, LinkModel, UniformLossLinks
 from repro.sim.kernel import Simulator
 from repro.sim.units import ms, seconds
+from repro.topology import GridTopology, Topology
+
+#: Default physical spacing: tabletop centimeters (filtered mode) vs. really
+#: spread out (physical mode).
+TABLETOP_SPACING_M = 0.3
+PHYSICAL_SPACING_M = 30.0
 
 
 @dataclass
 class Node:
-    """Everything attached to one grid position."""
+    """Everything attached to one deployed position."""
 
     mote: Mote
     stack: NetworkStack
@@ -49,52 +63,67 @@ class Node:
         return self.mote.location
 
 
-class GridNetwork:
-    """A deployed Agilla sensor network."""
+class SensorNetwork:
+    """A deployed Agilla sensor network over an arbitrary topology."""
 
     def __init__(
         self,
-        width: int = 5,
-        height: int = 5,
+        topology: Topology,
+        *,
         seed: int = 0,
         link_model: LinkModel | None = None,
         params: AgillaParams | None = None,
         environment: Environment | None = None,
         base_station: bool = True,
+        bridge_location: Location | None = None,
         beacons: bool = True,
         beacon_period: int = seconds(10.0),
         physical: bool = False,
-        physical_spacing_m: float = 30.0,
+        spacing_m: float | None = None,
     ):
-        self.width = width
-        self.height = height
+        self.topology = topology.validate()
         self.sim = Simulator(seed=seed)
         self.params = params if params is not None else AgillaParams()
         self.environment = environment if environment is not None else Environment()
         self.physical = physical
         if link_model is None:
             link_model = DistancePrrLinks() if physical else UniformLossLinks()
-        spacing = physical_spacing_m if physical else 0.3
-        self.channel = Channel(self.sim, link_model, grid_spacing_m=spacing)
+        if spacing_m is None:
+            spacing_m = PHYSICAL_SPACING_M if physical else TABLETOP_SPACING_M
+        self.channel = Channel(self.sim, link_model, grid_spacing_m=spacing_m)
         self.nodes: dict[Location, Node] = {}
         self._beacons_enabled = beacons
         self._beacon_period = beacon_period
 
-        locations = list(grid_locations(width, height))
+        field_locations = list(topology.locations())
+        if base_station and BASE_STATION_LOCATION in topology:
+            raise NetworkError(
+                f"topology occupies the base station address {BASE_STATION_LOCATION}"
+            )
+        self.directory: dict[int, Location] = {}
         if base_station:
-            locations = [BASE_STATION_LOCATION] + locations
-        directory: dict[int, Location] = {}
-        for location in locations:
-            directory[self._mote_id(location)] = location
-        extra_edges = (
-            bridge_edge(BASE_STATION_LOCATION, Location(1, 1))
-            if base_station
-            else frozenset()
-        )
+            self.directory[0] = BASE_STATION_LOCATION
+        self.directory.update(topology.directory())
+        self._ids = {location: mote_id for mote_id, location in self.directory.items()}
 
+        if base_station:
+            bridge = bridge_location if bridge_location is not None else topology.gateway()
+            if bridge not in topology:
+                raise NetworkError(f"bridge location {bridge} is not in the topology")
+            self._extra_edges = bridge_edge(BASE_STATION_LOCATION, bridge)
+        else:
+            if bridge_location is not None:
+                raise NetworkError("bridge_location requires base_station=True")
+            self._extra_edges = frozenset()
+
+        locations = (
+            [BASE_STATION_LOCATION] + field_locations
+            if base_station
+            else field_locations
+        )
         for location in locations:
-            self._build_node(location, directory, extra_edges)
-        self._prime_neighbors(directory, extra_edges)
+            self._build_node(location)
+        self._prime_neighbors()
         if beacons:
             for node in self.nodes.values():
                 node.beacons.start()
@@ -105,21 +134,16 @@ class GridNetwork:
     # Construction
     # ------------------------------------------------------------------
     def _mote_id(self, location: Location) -> int:
-        if location == BASE_STATION_LOCATION:
-            return 0
-        return location.x + (location.y - 1) * self.width
+        return self._ids[location]
 
-    def _build_node(
-        self,
-        location: Location,
-        directory: dict[int, Location],
-        extra_edges: frozenset,
-    ) -> None:
+    def _build_node(self, location: Location) -> None:
         mote = Mote(self.sim, self._mote_id(location), location, self.environment)
-        radio = self.channel.attach(mote)
+        radio = self.channel.attach(mote, self._position(location))
         stack = NetworkStack(mote, radio)
         if not self.physical:
-            stack.install_filter(GridNeighborFilter(location, directory, extra_edges))
+            stack.install_filter(
+                NeighborSetFilter(mote_id for mote_id, _ in self._neighbor_ids(location))
+            )
         beacons = BeaconService(mote, stack, period=self._beacon_period)
         router = GeoRouter(
             location, beacons.acquaintances, epsilon=self.params.location_epsilon
@@ -128,29 +152,48 @@ class GridNetwork:
         middleware = AgillaMiddleware(mote, stack, beacons, geo, self.params)
         self.nodes[location] = Node(mote, stack, beacons, router, geo, middleware)
 
-    def _prime_neighbors(
-        self, directory: dict[int, Location], extra_edges: frozenset
-    ) -> None:
+    def _neighbor_ids(self, location: Location) -> list[tuple[int, Location]]:
+        """Topology neighbors plus bridge partners, ordered by mote id."""
+        neighbors = (
+            set(self.topology.neighbors(location)) if location in self.topology else set()
+        )
+        for edge in self._extra_edges:
+            if location in edge:
+                neighbors.update(edge - {location})
+        return sorted(
+            ((self._ids[neighbor], neighbor) for neighbor in neighbors),
+            key=lambda pair: pair[0],
+        )
+
+    def _prime_neighbors(self) -> None:
         """Warm up every acquaintance list (a long-deployed network)."""
         for location, node in self.nodes.items():
-            neighbors = []
-            for other_id, other_location in directory.items():
-                if other_location == location:
-                    continue
-                adjacent = other_location.manhattan_to(location) == 1
-                bridged = frozenset((other_location, location)) in extra_edges
-                if self.physical:
-                    adjacent = (
-                        self.channel.link_model.in_range(
-                            self._position(other_location), self._position(location)
-                        )
-                        and other_location.distance_to(location) <= 1.5
-                    )
-                if adjacent or bridged:
-                    neighbors.append((other_id, other_location))
+            if self.physical:
+                neighbors = self._physical_neighbors(location)
+            else:
+                neighbors = self._neighbor_ids(location)
             node.beacons.prime(neighbors)
 
+    def _physical_neighbors(self, location: Location) -> list[tuple[int, Location]]:
+        """Physical mode: nodes audible and within 1.5 grid units, plus bridges."""
+        neighbors = []
+        for other_id, other_location in self.directory.items():
+            if other_location == location:
+                continue
+            adjacent = (
+                self.channel.link_model.in_range(
+                    self._position(other_location), self._position(location)
+                )
+                and other_location.distance_to(location) <= 1.5
+            )
+            bridged = frozenset((other_location, location)) in self._extra_edges
+            if adjacent or bridged:
+                neighbors.append((other_id, other_location))
+        return neighbors
+
     def _position(self, location: Location) -> tuple[float, float]:
+        if location in self.topology:
+            return self.topology.position(location, self.channel.grid_spacing_m)
         return (
             location.x * self.channel.grid_spacing_m,
             location.y * self.channel.grid_spacing_m,
@@ -175,10 +218,13 @@ class GridNetwork:
         return self.nodes.values()
 
     def grid_nodes(self) -> Iterable[Node]:
-        """All nodes except the base station."""
+        """All field nodes (everything except the base station)."""
         for location, node in self.nodes.items():
             if location != BASE_STATION_LOCATION:
                 yield node
+
+    #: Topology-neutral alias for :meth:`grid_nodes`.
+    field_nodes = grid_nodes
 
     # ------------------------------------------------------------------
     # Driving
@@ -247,6 +293,57 @@ class GridNetwork:
         return self.total_agents() == 0 and not self.migrations_in_flight()
 
 
+#: Deployment is the topology-neutral name; SensorNetwork reads better in
+#: WSN-flavored code.  They are the same class.
+Deployment = SensorNetwork
+
+
+class GridNetwork(SensorNetwork):
+    """The paper's testbed in one call: a W×H grid plus base station.
+
+    Kept signature-compatible with the original grid-only builder; everything
+    now flows through :class:`SensorNetwork` over a :class:`GridTopology`.
+    """
+
+    def __init__(
+        self,
+        width: int = 5,
+        height: int = 5,
+        seed: int = 0,
+        link_model: LinkModel | None = None,
+        params: AgillaParams | None = None,
+        environment: Environment | None = None,
+        base_station: bool = True,
+        beacons: bool = True,
+        beacon_period: int = seconds(10.0),
+        physical: bool = False,
+        physical_spacing_m: float = PHYSICAL_SPACING_M,
+    ):
+        self.width = width
+        self.height = height
+        super().__init__(
+            GridTopology(width, height),
+            seed=seed,
+            link_model=link_model,
+            params=params,
+            environment=environment,
+            base_station=base_station,
+            beacons=beacons,
+            beacon_period=beacon_period,
+            physical=physical,
+            spacing_m=physical_spacing_m if physical else None,
+        )
+
+
 def build_grid_network(**kwargs) -> GridNetwork:
     """Convenience alias mirroring the README quickstart."""
     return GridNetwork(**kwargs)
+
+
+def build_network(topology: Topology | dict | str, **kwargs) -> SensorNetwork:
+    """Deploy over a :class:`Topology`, a spec dict, or a JSON spec file."""
+    if not isinstance(topology, Topology):
+        from repro.topology import from_spec
+
+        topology = from_spec(topology)
+    return SensorNetwork(topology, **kwargs)

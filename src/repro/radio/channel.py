@@ -18,6 +18,8 @@ Reception is decided per receiver at end-of-frame:
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
@@ -59,6 +61,7 @@ class Radio:
         self._receive_callback: Callable[[Frame], None] | None = None
         self._current_tx: Transmission | None = None
         self._send_pending = False
+        self._attach_seq = 0  # set by Channel.attach; orders hearer lists
         # Statistics used by the benchmarks.
         self.frames_sent = 0
         self.frames_received = 0
@@ -153,9 +156,17 @@ class Radio:
 
 
 class Channel:
-    """The broadcast medium shared by all attached radios."""
+    """The broadcast medium shared by all attached radios.
 
-    #: Transmissions older than this are irrelevant for overlap checks.
+    Delivery and carrier sense are O(degree), not O(N): the channel keeps a
+    cached *hearer index* — for each radio, the list of radios its link model
+    can reach — built lazily from a spatial hash over radio positions (cell
+    size = radio range) and invalidated whenever a radio attaches or the link
+    model is replaced.
+    """
+
+    #: Legacy upper bound on how long a finished transmission may be kept for
+    #: overlap checks.  The live prune is tighter (see :meth:`_prune`).
     _PRUNE_AGE_US = 1_000_000
 
     def __init__(
@@ -167,7 +178,7 @@ class Channel:
         grid_spacing_m: float = 0.3,
     ):
         self.sim = sim
-        self.link_model = link_model if link_model is not None else UniformLossLinks()
+        self._link_model = link_model if link_model is not None else UniformLossLinks()
         self.bitrate = bitrate
         self.mac = mac if mac is not None else MacParams()
         #: Physical meters per grid unit.  The paper's testbed is a tabletop:
@@ -175,7 +186,14 @@ class Channel:
         self.grid_spacing_m = grid_spacing_m
         self.rng = sim.rng("channel")
         self._radios: dict[int, Radio] = {}
-        self._transmissions: list[Transmission] = []
+        self._transmissions: deque[Transmission] = deque()
+        self._max_airtime_us = 0
+        # Hearer index: mote id -> radios in range of that transmitter, in
+        # attach order (kept as list for iteration plus id-set for membership).
+        self._hearers: dict[int, list[Radio]] = {}
+        self._hearer_ids: dict[int, frozenset[int]] = {}
+        self._cells: dict[tuple[int, int], list[Radio]] | None = None
+        self._cell_size: float = 0.0
         #: Per (src mote id, dst mote id) PRR override for failure injection.
         self.prr_overrides: dict[tuple[int, int], float] = {}
         # Statistics.
@@ -185,6 +203,15 @@ class Channel:
         self.mac_giveups = 0
 
     # ------------------------------------------------------------------
+    @property
+    def link_model(self) -> LinkModel:
+        return self._link_model
+
+    @link_model.setter
+    def link_model(self, model: LinkModel) -> None:
+        self._link_model = model
+        self.invalidate_neighbor_index()
+
     def attach(self, mote: Mote, position: Position | None = None) -> Radio:
         """Attach a mote's radio, defaulting its physical position to its
         grid location scaled by ``grid_spacing_m``."""
@@ -196,9 +223,80 @@ class Channel:
                 mote.location.y * self.grid_spacing_m,
             )
         radio = Radio(self, mote, position)
+        radio._attach_seq = len(self._radios)
         self._radios[mote.id] = radio
         mote.radio = radio
+        self.invalidate_neighbor_index()
         return radio
+
+    # ------------------------------------------------------------------
+    # In-range neighbor index
+    # ------------------------------------------------------------------
+    def invalidate_neighbor_index(self) -> None:
+        """Drop the cached in-range index (new radio or new link model)."""
+        self._hearers.clear()
+        self._hearer_ids.clear()
+        self._cells = None
+
+    def _ensure_cells(self) -> None:
+        """(Re)build the spatial hash: cell size = radio range, so any pair
+        within range lands in the same or an adjacent cell."""
+        if self._cells is not None:
+            return
+        range_m = getattr(self._link_model, "range_m", None)
+        cells: dict[tuple[int, int], list[Radio]] = {}
+        if range_m is None or not (range_m > 0.0) or not math.isfinite(range_m):
+            # Unknown reach: one bucket, candidates degrade to all radios.
+            self._cell_size = 0.0
+            cells[(0, 0)] = list(self._radios.values())
+        else:
+            self._cell_size = float(range_m)
+            for radio in self._radios.values():
+                cells.setdefault(self._cell_of(radio.position), []).append(radio)
+        self._cells = cells
+
+    def _cell_of(self, position: Position) -> tuple[int, int]:
+        if self._cell_size <= 0.0:
+            return (0, 0)
+        return (
+            math.floor(position[0] / self._cell_size),
+            math.floor(position[1] / self._cell_size),
+        )
+
+    def hearers(self, radio: Radio) -> list[Radio]:
+        """Radios the link model lets hear ``radio``, in attach order."""
+        cached = self._hearers.get(radio.mote.id)
+        if cached is not None:
+            return cached
+        self._ensure_cells()
+        assert self._cells is not None
+        in_range = self._link_model.in_range
+        position = radio.position
+        if self._cell_size <= 0.0:
+            candidates = self._cells.get((0, 0), [])
+        else:
+            cx, cy = self._cell_of(position)
+            candidates = [
+                other
+                for dx in (-1, 0, 1)
+                for dy in (-1, 0, 1)
+                for other in self._cells.get((cx + dx, cy + dy), ())
+            ]
+        audience = [
+            other
+            for other in candidates
+            if other is not radio and in_range(position, other.position)
+        ]
+        audience.sort(key=lambda r: r._attach_seq)
+        self._hearers[radio.mote.id] = audience
+        self._hearer_ids[radio.mote.id] = frozenset(r.mote.id for r in audience)
+        return audience
+
+    def _can_hear(self, src: Radio, dst: Radio) -> bool:
+        """Is ``src``'s carrier audible at ``dst``?  O(1) after caching."""
+        if src.mote.id not in self._hearer_ids:
+            self.hearers(src)
+        return dst.mote.id in self._hearer_ids[src.mote.id]
 
     def radio_for(self, mote_id: int) -> Radio | None:
         return self._radios.get(mote_id)
@@ -217,21 +315,25 @@ class Channel:
         now = self.sim.now
         for tx in self._transmissions:
             if tx.start <= now < tx.end and tx.radio is not radio:
-                if self.link_model.in_range(tx.radio.position, radio.position):
+                if self._can_hear(tx.radio, radio):
                     return True
         return False
 
     def begin_transmission(self, tx: Transmission) -> None:
+        if tx.end - tx.start > self._max_airtime_us:
+            self._max_airtime_us = tx.end - tx.start
         self._prune(tx.start)
         self._transmissions.append(tx)
         self.frames_transmitted += 1
 
     def end_transmission(self, tx: Transmission) -> None:
-        """Frame finished: decide reception independently per receiver."""
-        for radio in self._radios.values():
-            if radio is tx.radio or not radio.enabled:
-                continue
-            if not self.link_model.in_range(tx.radio.position, radio.position):
+        """Frame finished: decide reception independently per receiver.
+
+        Only the transmitter's cached hearer list is visited — O(degree) per
+        frame — never the full radio population.
+        """
+        for radio in self.hearers(tx.radio):
+            if not radio.enabled:
                 continue
             if radio.transmitting_during(tx.start, tx.end):
                 continue  # half-duplex: was busy sending
@@ -252,10 +354,23 @@ class Channel:
             if other is tx or other.radio is tx.radio:
                 continue
             if other.start < tx.end and other.end > tx.start:
-                if self.link_model.in_range(other.radio.position, receiver.position):
+                # The receiver's own (already finished) transmission corrupts
+                # the frame too: half-duplex, and a radio always hears itself.
+                if other.radio is receiver or self._can_hear(other.radio, receiver):
                     return True
         return False
 
     def _prune(self, now: int) -> None:
-        horizon = now - self._PRUNE_AGE_US
-        self._transmissions = [t for t in self._transmissions if t.end >= horizon]
+        """Drop transmissions that can no longer overlap anything.
+
+        Transmissions are appended in start order, so expired ones form a
+        prefix and an incremental ``popleft`` loop replaces the old full-list
+        rebuild.  A finished frame only matters while a live frame's window can
+        still reach back to it, i.e. within the longest airtime seen; twice
+        that (capped by the legacy 1 s horizon) is kept as a safety margin.
+        """
+        margin = min(2 * self._max_airtime_us, self._PRUNE_AGE_US)
+        horizon = now - margin
+        transmissions = self._transmissions
+        while transmissions and transmissions[0].end < horizon:
+            transmissions.popleft()

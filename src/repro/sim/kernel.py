@@ -23,18 +23,30 @@ from repro.sim.units import US_PER_S
 class EventHandle:
     """A scheduled callback that can be cancelled before it fires."""
 
-    __slots__ = ("time", "_seq", "_fn", "_args", "cancelled")
+    __slots__ = ("time", "_seq", "_fn", "_args", "cancelled", "_popped", "_sim")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator | None" = None,
+    ):
         self.time = time
         self._seq = seq
         self._fn = fn
         self._args = args
         self.cancelled = False
+        self._popped = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (safe to call repeatedly)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if not self._popped and self._sim is not None:
+                self._sim._pending -= 1
         # Drop references so cancelled events pinned in the heap don't keep
         # large object graphs (agents, frames) alive.
         self._fn = _noop
@@ -71,6 +83,7 @@ class Simulator:
         self._now = 0
         self._seq = 0
         self._queue: list[EventHandle] = []
+        self._pending = 0
         self._rngs: dict[str, random.Random] = {}
         self._running = False
         self._stopped = False
@@ -109,8 +122,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past (now={self._now}, requested={time})"
             )
-        handle = EventHandle(int(time), self._seq, fn, args)
+        handle = EventHandle(int(time), self._seq, fn, args, self)
         self._seq += 1
+        self._pending += 1
         heapq.heappush(self._queue, handle)
         return handle
 
@@ -131,8 +145,10 @@ class Simulator:
         """Fire the next pending event.  Returns False if the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event._popped = True
             if event.cancelled:
                 continue
+            self._pending -= 1
             self._now = event.time
             self.events_fired += 1
             event.fire()
@@ -174,7 +190,7 @@ class Simulator:
                     return
                 head = self._queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    heapq.heappop(self._queue)._popped = True
                     continue
                 if deadline is not None and head.time > deadline:
                     break
@@ -195,8 +211,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events in the queue.
+
+        Maintained as a live counter (updated on schedule, cancel, and fire)
+        rather than scanned, so monitoring a large simulation is O(1).
+        """
+        return self._pending
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self._now}us queue={len(self._queue)}>"

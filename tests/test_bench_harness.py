@@ -90,3 +90,37 @@ class TestCli:
     def test_cli_runs_flag(self, capsys):
         assert main(["fig11", "--runs", "2", "--seed", "3"]) == 0
         assert "fig11" in capsys.readouterr().out
+
+
+class TestScaleSweep:
+    def test_run_one_measures_a_deployment(self):
+        from repro.bench.scale import run_one
+
+        result = run_one("grid", 25, seed=1, duration_s=5.0)
+        assert result["nodes"] == 25
+        assert result["frames"] > 0
+        assert result["events"] > 0
+
+    def test_cli_scale_writes_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                [
+                    "scale",
+                    "--nodes",
+                    "9",
+                    "--topologies",
+                    "grid,random",
+                    "--duration",
+                    "3",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "scale" in capsys.readouterr().out
+        import json
+
+        payload = json.loads((tmp_path / "BENCH_scale.json").read_text())
+        assert {row["topology"] for row in payload["rows"]} == {"grid", "random"}

@@ -47,6 +47,12 @@ class TestExamples:
         assert "two independent applications share every mote" in out
         assert "freed its resources" in out
 
+    def test_large_random_deployment(self, monkeypatch, capsys):
+        out = run_example("large_random_deployment.py", monkeypatch, capsys)
+        assert "deployed 400 motes" in out
+        # The clone flood must cover most of the giant component.
+        assert int(out.split("nodes claimed")[0].rsplit(",", 1)[1].strip()) > 300
+
 
 class TestPhysicalTopology:
     """Extension mode: real distances and distance-dependent loss, no filter."""

@@ -145,6 +145,22 @@ class TestRunLimits:
         handle.cancel()
         assert sim.pending_events == 1
 
+    def test_pending_events_counter_tracks_lifecycle(self):
+        sim = Simulator()
+        assert sim.pending_events == 0
+        first = sim.schedule(10, lambda: None)
+        second = sim.schedule(20, lambda: None)
+        assert sim.pending_events == 2
+        sim.run(duration=15)
+        assert sim.pending_events == 1
+        second.cancel()
+        second.cancel()  # repeat cancels must not double-decrement
+        assert sim.pending_events == 0
+        first.cancel()  # cancelling an already-fired event is a no-op
+        assert sim.pending_events == 0
+        sim.run_until_idle()
+        assert sim.pending_events == 0
+
 
 class TestRandomStreams:
     def test_streams_are_deterministic_across_runs(self):
