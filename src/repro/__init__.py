@@ -30,6 +30,16 @@ from repro.agilla import (
     make_template,
     make_tuple,
 )
+from repro.dynamics import (
+    DeploymentDynamics,
+    DutyCycle,
+    LinearDrift,
+    RandomLifetimes,
+    RandomWaypoint,
+    ScheduledChurn,
+    StaticMobility,
+    dynamics_from_spec,
+)
 from repro.location import BASE_STATION_LOCATION, Location
 from repro.mote import Environment, FireField, HotspotField, MovingTargetField
 from repro.network import (
@@ -40,6 +50,7 @@ from repro.network import (
     build_grid_network,
     build_network,
 )
+from repro.scenarios import BUILTIN_SCENARIOS, Scenario
 from repro.sim import Simulator
 from repro.topology import (
     ClusteredTopology,
@@ -76,6 +87,16 @@ __all__ = [
     "SensorNetwork",
     "build_grid_network",
     "build_network",
+    "DeploymentDynamics",
+    "DutyCycle",
+    "StaticMobility",
+    "LinearDrift",
+    "RandomWaypoint",
+    "ScheduledChurn",
+    "RandomLifetimes",
+    "dynamics_from_spec",
+    "Scenario",
+    "BUILTIN_SCENARIOS",
     "Simulator",
     "Topology",
     "GridTopology",

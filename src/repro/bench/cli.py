@@ -15,7 +15,15 @@ import os
 import sys
 import time
 
-from repro.bench import ablations, claims, figures, mate_compare, memory_report, scale
+from repro.bench import (
+    ablations,
+    claims,
+    figures,
+    mate_compare,
+    memory_report,
+    scale,
+    scenarios,
+)
 from repro.bench.reporting import Table
 
 
@@ -36,15 +44,42 @@ def _node_counts(text: str) -> tuple[int, ...]:
     return counts
 
 
+def _csv_items(text: str, what: str) -> tuple[str, ...]:
+    items = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not items:
+        raise argparse.ArgumentTypeError(f"expected comma-separated {what}: {text!r}")
+    return items
+
+
 def _topology_kinds(text: str) -> tuple[str, ...]:
-    kinds = tuple(part.strip() for part in text.split(",") if part.strip())
+    kinds = _csv_items(text, "topology kinds")
     unknown = [kind for kind in kinds if kind not in scale.TOPOLOGY_KINDS]
-    if not kinds or unknown:
+    if unknown:
         raise argparse.ArgumentTypeError(
-            f"unknown topology kinds {unknown or text!r} "
+            f"unknown topology kinds {unknown} "
             f"(expected a comma-separated subset of {', '.join(scale.TOPOLOGY_KINDS)})"
         )
     return kinds
+
+
+def _scenario_names(text: str) -> tuple[str, ...]:
+    return _csv_items(text, "scenario names or spec paths")
+
+
+def _scenario(args) -> list[Table]:
+    json_path = (
+        os.path.join(args.out, "BENCH_scenarios.json") if args.out else "BENCH_scenarios.json"
+    )
+    # Scenarios carry their own seed/duration; the shared flags override every
+    # spec only when passed explicitly (argparse default is None).
+    return [
+        scenarios.run_scenarios(
+            scenarios=args.scenarios,
+            seed=args.seed,
+            duration_s=args.duration,
+            json_path=json_path,
+        )
+    ]
 
 
 def _scale(args) -> list[Table]:
@@ -78,6 +113,7 @@ EXPERIMENTS = {
     ],
     "ablation-blocks": lambda args: [ablations.run_ablation_code_blocks()],
     "scale": _scale,
+    "scenario": _scenario,
 }
 
 
@@ -94,7 +130,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--runs", type=int, default=100, help="timed runs per data point"
     )
-    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="master RNG seed (default 0; scenarios keep their spec seeds unless set)",
+    )
     parser.add_argument(
         "--out", default=None, help="also save tables under this directory"
     )
@@ -113,14 +154,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--duration",
         type=float,
-        default=scale.DEFAULT_DURATION_S,
-        help="scale sweep: simulated seconds per cell",
+        default=None,
+        help="scale/scenario sweeps: simulated seconds per cell (default 60; "
+        "scenarios keep their spec durations unless set)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        type=_scenario_names,
+        default=scenarios.DEFAULT_SCENARIOS,
+        help="scenario sweep: comma-separated builtin names or JSON spec paths",
     )
     args = parser.parse_args(argv)
+    # The scenario sweep needs to distinguish "flag omitted" (None: every spec
+    # keeps its own values) from an explicit override; resolve the shared
+    # defaults for everything else here.
+    if args.experiment != "scenario":
+        if args.seed is None:
+            args.seed = 0
+        if args.duration is None:
+            args.duration = scale.DEFAULT_DURATION_S
 
     if args.experiment == "all":
-        # fig9 emits fig10 too; the scale sweep is its own, post-paper run.
-        names = sorted(set(EXPERIMENTS) - {"fig10", "scale"})
+        # fig9 emits fig10 too; the scale and scenario sweeps are their own,
+        # post-paper runs.
+        names = sorted(set(EXPERIMENTS) - {"fig10", "scale", "scenario"})
     else:
         names = [args.experiment]
 

@@ -20,10 +20,10 @@ import json
 import os
 import time
 
-from repro.agilla.fields import StringField
 from repro.apps import firedetector
 from repro.bench.reporting import Table
 from repro.network import SensorNetwork
+from repro.scenarios.workloads import count_tagged, hub_of
 from repro.topology import (
     ClusteredTopology,
     GridTopology,
@@ -76,21 +76,6 @@ def make_topology(kind: str, count: int, seed: int) -> Topology:
     )
 
 
-def _coverage(net: SensorNetwork, tag: str = "fdt") -> int:
-    """Nodes claimed by the detector flood (its ``<'fdt'>`` marker tuple)."""
-    claimed = 0
-    for node in net.grid_nodes():
-        for tup in node.middleware.tuples():
-            if (
-                tup.arity
-                and isinstance(tup.fields[0], StringField)
-                and tup.fields[0].text == tag
-            ):
-                claimed += 1
-                break
-    return claimed
-
-
 def run_one(
     kind: str, count: int, seed: int = 0, duration_s: float = DEFAULT_DURATION_S
 ) -> dict:
@@ -106,9 +91,9 @@ def run_one(
     build_s = time.perf_counter() - started
     # Seed the flood at the best-connected node: a corner gateway on a sparse
     # random field can starve the clone wave and measure silence instead of
-    # load.  Deterministic tie-break by coordinates.
-    hub = max(topology.locations(), key=lambda loc: (topology.degree(loc), loc))
-    net.inject(firedetector(period_ticks=40), at=hub)
+    # load.  Deterministic tie-break by coordinates (shared with the scenario
+    # sweep's flood workload, so coverage numbers stay comparable).
+    net.inject(firedetector(period_ticks=40), at=hub_of(topology))
     started = time.perf_counter()
     net.run(duration_s)
     wall_s = time.perf_counter() - started
@@ -122,7 +107,7 @@ def run_one(
         "events_per_s": round(net.sim.events_fired / wall_s) if wall_s > 0 else 0,
         "frames": net.radio_messages(),
         "frames_per_s": round(net.radio_messages() / wall_s, 1) if wall_s > 0 else 0,
-        "coverage": _coverage(net),
+        "coverage": count_tagged(net, "fdt"),
         "collisions": net.channel.collisions,
         "mac_giveups": net.channel.mac_giveups,
     }

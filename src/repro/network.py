@@ -227,6 +227,74 @@ class SensorNetwork:
     field_nodes = grid_nodes
 
     # ------------------------------------------------------------------
+    # Dynamics: positions, failures, departures
+    # ------------------------------------------------------------------
+    def _resolve(self, location: Location | tuple[int, int]):
+        """Normalize an address and look up its radio (None once departed)."""
+        if isinstance(location, tuple):
+            location = Location(*location)
+        mote_id = self._ids.get(location)
+        if mote_id is None:
+            raise NetworkError(f"no node at {location}")
+        return location, self.channel.radio_for(mote_id)
+
+    def _radio(self, location: Location | tuple[int, int]):
+        location, radio = self._resolve(location)
+        if radio is None:
+            raise NetworkError(f"node at {location} has left the network")
+        return radio
+
+    def position_of(self, location: Location | tuple[int, int]) -> tuple[float, float]:
+        """Current *physical* position (meters) of the node's radio."""
+        return self._radio(location).position
+
+    def move_node(
+        self, location: Location | tuple[int, int], position: tuple[float, float]
+    ) -> None:
+        """Move a node's radio to a new physical position (meters).
+
+        The node keeps its logical address (``Location``) — and, in filtered
+        mode, its software neighbor set — but its radio connectivity follows
+        the link model at the new coordinates.  The channel re-keys its hearer
+        index incrementally, so a mobility tick costs O(degree) per mover.
+        """
+        radio = self._radio(location)
+        self.channel.move(radio.mote.id, (float(position[0]), float(position[1])))
+
+    def fail_node(self, location: Location | tuple[int, int]) -> None:
+        """Take a node's radio down (crash / battery death): it neither
+        transmits nor receives until :meth:`recover_node`.  Local computation
+        continues — a partitioned node, not a deallocated one."""
+        self._radio(location).enabled = False
+
+    def recover_node(self, location: Location | tuple[int, int]) -> None:
+        """Bring a failed node's radio back up."""
+        self._radio(location).enabled = True
+
+    def node_up(self, location: Location | tuple[int, int]) -> bool:
+        """Is the node's radio currently on the air?"""
+        _, radio = self._resolve(location)
+        return radio is not None and radio.enabled
+
+    def detach_node(self, location: Location | tuple[int, int]) -> None:
+        """Permanently remove a node from the deployment (departure).
+
+        Unlike :meth:`fail_node` this cannot be undone: the channel drops the
+        radio from its spatial index incrementally, the beacon service stops
+        (no phantom timer events from a gone node), resident agents die with
+        the hardware, and the node leaves :attr:`nodes` so iteration and
+        workload metrics no longer see it."""
+        location, radio = self._resolve(location)
+        if radio is None:
+            raise NetworkError(f"node at {location} has left the network")
+        node = self.nodes[location]
+        self.channel.detach(radio.mote.id)
+        node.beacons.stop()
+        for agent in list(node.middleware.agents()):
+            node.middleware.agent_manager.kill(agent, "node departed")
+        del self.nodes[location]
+
+    # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
     def run(self, duration_s: float) -> None:
@@ -279,7 +347,10 @@ class SensorNetwork:
         return self.channel.frames_transmitted
 
     def radio_bytes(self) -> int:
-        return sum(radio.bytes_sent for radio in self.channel.radios)
+        """Total bytes put on the air, monotonic across node departures."""
+        return self.channel.retired_bytes_sent + sum(
+            radio.bytes_sent for radio in self.channel.radios
+        )
 
     def total_agents(self) -> int:
         return sum(len(node.middleware.agent_manager.agents) for node in self.all_nodes())

@@ -163,6 +163,15 @@ class Channel:
     can reach — built lazily from a spatial hash over radio positions (cell
     size = radio range) and invalidated whenever a radio attaches or the link
     model is replaced.
+
+    Mobile deployments mutate the index *incrementally*: :meth:`move` re-keys
+    the moved radio's spatial-hash cell and drops only the cached hearer lists
+    whose in-range relation to it can have changed (the radios within one cell
+    of its old or new position — O(degree) work), and :meth:`detach` does the
+    same for a departing radio.  ``full_invalidations`` counts whole-index
+    rebuild triggers and ``index_moves`` counts incremental re-keys, so tests
+    and benchmarks can assert that a mobility tick never degenerates into a
+    full rebuild.
     """
 
     #: Legacy upper bound on how long a finished transmission may be kept for
@@ -186,6 +195,7 @@ class Channel:
         self.grid_spacing_m = grid_spacing_m
         self.rng = sim.rng("channel")
         self._radios: dict[int, Radio] = {}
+        self._attach_counter = 0
         self._transmissions: deque[Transmission] = deque()
         self._max_airtime_us = 0
         # Hearer index: mote id -> radios in range of that transmitter, in
@@ -201,6 +211,11 @@ class Channel:
         self.collisions = 0
         self.prr_drops = 0
         self.mac_giveups = 0
+        self.full_invalidations = 0
+        self.index_moves = 0
+        #: Bytes sent by radios that have since detached, so totals summed
+        #: over live radios stay monotonic across departures.
+        self.retired_bytes_sent = 0
 
     # ------------------------------------------------------------------
     @property
@@ -223,7 +238,8 @@ class Channel:
                 mote.location.y * self.grid_spacing_m,
             )
         radio = Radio(self, mote, position)
-        radio._attach_seq = len(self._radios)
+        radio._attach_seq = self._attach_counter
+        self._attach_counter += 1
         self._radios[mote.id] = radio
         mote.radio = radio
         self.invalidate_neighbor_index()
@@ -234,9 +250,89 @@ class Channel:
     # ------------------------------------------------------------------
     def invalidate_neighbor_index(self) -> None:
         """Drop the cached in-range index (new radio or new link model)."""
+        self.full_invalidations += 1
         self._hearers.clear()
         self._hearer_ids.clear()
         self._cells = None
+
+    def _drop_cached(self, mote_id: int) -> None:
+        self._hearers.pop(mote_id, None)
+        self._hearer_ids.pop(mote_id, None)
+
+    def _drop_cached_near(self, position: Position) -> None:
+        """Drop the cached hearer lists of every radio within one cell of
+        ``position`` — the only lists a change at ``position`` can affect,
+        since audibility is bounded by the cell size (= radio range)."""
+        assert self._cells is not None
+        cx, cy = self._cell_of(position)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for other in self._cells.get((cx + dx, cy + dy), ()):
+                    self._drop_cached(other.mote.id)
+
+    def move(self, mote_id: int, position: Position) -> None:
+        """Move a radio to a new physical position, re-keying incrementally.
+
+        Only the moved radio's spatial-hash bucket and the cached hearer lists
+        around its old and new positions are touched — O(local density), never
+        a full index rebuild.  (With an unbounded link model there is no
+        spatial hash to re-key, so the whole index is invalidated instead.)
+        """
+        radio = self._radios.get(mote_id)
+        if radio is None:
+            raise RadioError(f"cannot move unknown mote id {mote_id}")
+        old = radio.position
+        if old == position:
+            return
+        if self._cells is None:
+            radio.position = position  # index not built yet: nothing to re-key
+            return
+        if self._cell_size <= 0.0:
+            radio.position = position  # single-bucket fallback (unknown range)
+            self.invalidate_neighbor_index()
+            return
+        self._drop_cached_near(old)
+        old_cell = self._cell_of(old)
+        radio.position = position
+        new_cell = self._cell_of(position)
+        if new_cell != old_cell:
+            bucket = self._cells[old_cell]
+            bucket.remove(radio)
+            if not bucket:
+                del self._cells[old_cell]
+            self._cells.setdefault(new_cell, []).append(radio)
+            # Same-cell moves share the old position's 9-cell ring, already
+            # dropped above; only a cell crossing exposes new lists.
+            self._drop_cached_near(position)
+        self._drop_cached(mote_id)
+        self.index_moves += 1
+
+    def detach(self, mote_id: int) -> Radio:
+        """Remove a radio from the medium (node death / departure).
+
+        The radio is disabled, dropped from the spatial hash, and every cached
+        hearer list that could contain it is invalidated — incrementally, like
+        :meth:`move`.  A frame already on the air from the departing radio
+        still finishes (the energy left the antenna).
+        """
+        radio = self._radios.pop(mote_id, None)
+        if radio is None:
+            raise RadioError(f"cannot detach unknown mote id {mote_id}")
+        radio.enabled = False
+        self.retired_bytes_sent += radio.bytes_sent
+        if self._cells is not None:
+            if self._cell_size <= 0.0:
+                self.invalidate_neighbor_index()
+            else:
+                self._drop_cached_near(radio.position)
+                cell = self._cell_of(radio.position)
+                bucket = self._cells.get(cell)
+                if bucket is not None and radio in bucket:
+                    bucket.remove(radio)
+                    if not bucket:
+                        del self._cells[cell]
+        self._drop_cached(mote_id)
+        return radio
 
     def _ensure_cells(self) -> None:
         """(Re)build the spatial hash: cell size = radio range, so any pair

@@ -1,0 +1,25 @@
+"""Declarative scenarios: topology × dynamics × workload, runnable from data."""
+
+from repro.scenarios.library import BUILTIN_SCENARIOS, DEFAULT_SCENARIOS
+from repro.scenarios.spec import Scenario, ScenarioRun
+from repro.scenarios.workloads import (
+    FloodWorkload,
+    HabitatWorkload,
+    MixedTenantWorkload,
+    TrackerPerimeterWorkload,
+    Workload,
+    workload_from_spec,
+)
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "DEFAULT_SCENARIOS",
+    "Scenario",
+    "ScenarioRun",
+    "Workload",
+    "FloodWorkload",
+    "TrackerPerimeterWorkload",
+    "HabitatWorkload",
+    "MixedTenantWorkload",
+    "workload_from_spec",
+]

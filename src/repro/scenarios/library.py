@@ -1,0 +1,91 @@
+"""Built-in scenario specs: the bench sweep's standard battery.
+
+Plain dicts on purpose — each is exactly what you could put in a JSON file
+and hand to ``python -m repro.bench scenario`` or ``Scenario.from_spec``.
+
+* **static-flood** — PR 1's scale-sweep cell verbatim (100-node grid,
+  fire-detector flood, no dynamics): the golden baseline that dynamic runs
+  are compared against.
+* **mobile-tracker** — a quarter of an 8×8 grid wanders (random waypoint)
+  while a chaser agent pursues a moving intruder through the samplers.
+* **churn-habitat** — habitat monitors on a clustered field where nodes die
+  and recover under exponential lifetimes (~20% of the field dark at once).
+* **mixed-tenant** — habitat monitors and a fire-detection service share a
+  7×7 grid under a staggered 75% radio duty cycle; a fire ignites mid-run.
+* **mobile-flood-400** — the big one: a 400-node random field, one node in
+  ten mobile, under the flood.  Exists to keep the channel honest at scale:
+  the hearer index must absorb thousands of moves incrementally
+  (``index_rebuilds`` stays 0) while delivery stays O(degree).
+"""
+
+from __future__ import annotations
+
+BUILTIN_SCENARIOS: dict[str, dict] = {
+    "static-flood": {
+        "name": "static-flood",
+        "topology": {"kind": "grid", "width": 10, "height": 10},
+        "workload": {"kind": "flood"},
+        "duration_s": 60.0,
+        "seed": 0,
+        "spacing_m": 60.0,
+    },
+    "mobile-tracker": {
+        "name": "mobile-tracker",
+        "topology": {"kind": "grid", "width": 8, "height": 8},
+        "workload": {"kind": "tracker"},
+        "dynamics": {
+            "mobility": {"model": "random_waypoint", "speed": [0.5, 2.0], "pause_s": 2.0},
+            "mobile_fraction": 0.25,
+            "tick_s": 1.0,
+        },
+        "duration_s": 60.0,
+        "seed": 0,
+        "spacing_m": 60.0,
+    },
+    "churn-habitat": {
+        "name": "churn-habitat",
+        "topology": {"kind": "clustered", "clusters": 4, "cluster_size": 25},
+        "workload": {"kind": "habitat"},
+        "dynamics": {
+            "churn": {"model": "lifetimes", "mtbf_s": 40.0, "mttr_s": 10.0},
+            "tick_s": 1.0,
+        },
+        "duration_s": 60.0,
+        "seed": 0,
+        "spacing_m": 40.0,
+    },
+    "mixed-tenant": {
+        "name": "mixed-tenant",
+        "topology": {"kind": "grid", "width": 7, "height": 7},
+        "workload": {"kind": "mixed", "ignite_s": 30.0},
+        "dynamics": {
+            "duty_cycle": {"period_s": 4.0, "on_fraction": 0.75},
+            "tick_s": 0.5,
+        },
+        "duration_s": 60.0,
+        "seed": 0,
+        "spacing_m": 60.0,
+    },
+    "mobile-flood-400": {
+        "name": "mobile-flood-400",
+        "topology": {"kind": "random", "count": 400, "seed": 11},
+        "workload": {"kind": "flood"},
+        "dynamics": {
+            "mobility": {"model": "random_waypoint", "speed": [0.5, 2.0], "pause_s": 2.0},
+            "mobile_fraction": 0.1,
+            "tick_s": 1.0,
+        },
+        "duration_s": 60.0,
+        "seed": 11,
+        "spacing_m": 45.0,
+    },
+}
+
+#: The bench sweep's default battery, in presentation order.
+DEFAULT_SCENARIOS = (
+    "static-flood",
+    "mobile-tracker",
+    "churn-habitat",
+    "mixed-tenant",
+    "mobile-flood-400",
+)

@@ -1,0 +1,190 @@
+"""Declarative scenarios: topology × dynamics × workload as one runnable spec.
+
+A :class:`Scenario` composes everything a dynamic-deployment experiment needs
+— a topology spec (``repro.topology.from_spec``), a dynamics spec
+(``repro.dynamics.dynamics_from_spec``), and a workload spec
+(``repro.scenarios.workloads``) — into a single dict/JSON-loadable object::
+
+    {"name": "mobile-tracker",
+     "topology": {"kind": "grid", "width": 8, "height": 8},
+     "workload": {"kind": "tracker"},
+     "dynamics": {"mobility": {"model": "random_waypoint"},
+                  "mobile_fraction": 0.25},
+     "duration_s": 60.0, "seed": 0, "spacing_m": 60.0}
+
+``Scenario.from_spec`` accepts a dict, a JSON file path, or a built-in name
+from :data:`repro.scenarios.library.BUILTIN_SCENARIOS`.  :meth:`Scenario.build`
+deploys it; :meth:`Scenario.run` also drives the clock and returns a flat
+metrics dict (the bench sweep's row format).
+
+A scenario with no ``dynamics`` section schedules nothing extra, so static
+scenarios reproduce plain :class:`~repro.network.SensorNetwork` runs
+bit-for-bit — the golden tests pin that equivalence.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.dynamics import DeploymentDynamics, dynamics_from_spec
+from repro.errors import NetworkError
+from repro.network import SensorNetwork
+from repro.scenarios.workloads import Workload, workload_from_spec
+from repro.topology import Topology, from_spec as topology_from_spec
+
+_SCENARIO_KEYS = frozenset(
+    {
+        "name",
+        "topology",
+        "workload",
+        "dynamics",
+        "duration_s",
+        "seed",
+        "spacing_m",
+        "base_station",
+        "physical",
+        "beacons",
+    }
+)
+
+
+@dataclass
+class ScenarioRun:
+    """A deployed scenario, ready to drive: network + dynamics + workload."""
+
+    scenario: "Scenario"
+    topology: Topology
+    net: SensorNetwork
+    dynamics: DeploymentDynamics
+    workload: Workload
+    build_s: float
+    #: Channel full-invalidation count right after the build; anything above
+    #: this during the run means the hearer index was rebuilt mid-flight.
+    invalidations_at_build: int
+
+    def run(self) -> dict:
+        """Drive the clock for the scenario's duration and report metrics."""
+        net = self.net
+        started = time.perf_counter()
+        net.run(self.scenario.duration_s)
+        wall_s = time.perf_counter() - started
+        channel = net.channel
+        result = {
+            "scenario": self.scenario.name,
+            "nodes": len(self.topology),
+            "sim_s": self.scenario.duration_s,
+            "build_s": round(self.build_s, 4),
+            "wall_s": round(wall_s, 4),
+            "events": net.sim.events_fired,
+            "events_per_s": round(net.sim.events_fired / wall_s) if wall_s > 0 else 0,
+            "frames": net.radio_messages(),
+            "frames_per_s": round(net.radio_messages() / wall_s, 1) if wall_s > 0 else 0,
+            "collisions": channel.collisions,
+            "mac_giveups": channel.mac_giveups,
+            "index_moves": channel.index_moves,
+            "index_rebuilds": channel.full_invalidations - self.invalidations_at_build,
+        }
+        result.update(self.dynamics.stats())
+        result.update(self.workload.metrics(net))
+        return result
+
+
+@dataclass
+class Scenario:
+    """One declarative experiment: deploy, perturb, load, measure."""
+
+    name: str = "scenario"
+    topology: dict = field(default_factory=lambda: {"kind": "grid", "width": 5, "height": 5})
+    workload: dict | str | None = None
+    dynamics: dict | None = None
+    duration_s: float = 60.0
+    seed: int = 0
+    spacing_m: float = 60.0
+    base_station: bool = False
+    physical: bool = False
+    beacons: bool = True
+
+    @classmethod
+    def from_spec(cls, spec: dict | str | Path) -> "Scenario":
+        """Build from a dict, a JSON file path, or a built-in scenario name."""
+        if isinstance(spec, (str, Path)):
+            from repro.scenarios.library import BUILTIN_SCENARIOS
+
+            if isinstance(spec, str) and spec in BUILTIN_SCENARIOS:
+                spec = BUILTIN_SCENARIOS[spec]
+            else:
+                try:
+                    spec = json.loads(Path(spec).read_text())
+                except OSError as error:
+                    known = ", ".join(sorted(BUILTIN_SCENARIOS))
+                    raise NetworkError(
+                        f"scenario spec {str(spec)!r} is neither a builtin name "
+                        f"({known}) nor a readable JSON file: {error}"
+                    ) from error
+                except json.JSONDecodeError as error:
+                    raise NetworkError(f"malformed scenario JSON: {error}") from error
+        if not isinstance(spec, dict):
+            raise NetworkError(f"scenario spec must be a dict: {spec!r}")
+        unknown = set(spec) - _SCENARIO_KEYS
+        if unknown:
+            raise NetworkError(f"unknown scenario spec keys: {sorted(unknown)}")
+        if "topology" not in spec:
+            raise NetworkError("scenario spec requires a 'topology' section")
+        return cls(**spec)
+
+    # ------------------------------------------------------------------
+    def build(self) -> ScenarioRun:
+        """Deploy the scenario: topology → network → dynamics → agents."""
+        started = time.perf_counter()
+        topology = topology_from_spec(self.topology)
+        workload = workload_from_spec(self.workload)
+        environment = workload.environment(topology, self.duration_s)
+        net = SensorNetwork(
+            topology,
+            seed=self.seed,
+            base_station=self.base_station,
+            physical=self.physical,
+            beacons=self.beacons,
+            spacing_m=self.spacing_m,
+            environment=environment,
+        )
+        dynamics = dynamics_from_spec(net, self.dynamics)
+        workload.install(net, topology)
+        dynamics.start()
+        build_s = time.perf_counter() - started
+        return ScenarioRun(
+            scenario=self,
+            topology=topology,
+            net=net,
+            dynamics=dynamics,
+            workload=workload,
+            build_s=build_s,
+            invalidations_at_build=net.channel.full_invalidations,
+        )
+
+    def run(self) -> dict:
+        """Build and drive in one call; returns the flat metrics dict."""
+        return self.build().run()
+
+    def to_spec(self) -> dict:
+        """The plain-dict form (JSON-serializable round trip)."""
+        spec: dict = {
+            "name": self.name,
+            "topology": dict(self.topology),
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "spacing_m": self.spacing_m,
+            "base_station": self.base_station,
+            "physical": self.physical,
+            "beacons": self.beacons,
+        }
+        if self.workload is not None:
+            spec["workload"] = (
+                self.workload if isinstance(self.workload, str) else dict(self.workload)
+            )
+        if self.dynamics is not None:
+            spec["dynamics"] = dict(self.dynamics)
+        return spec

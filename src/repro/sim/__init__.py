@@ -1,10 +1,11 @@
 """Discrete-event simulation substrate (clock, events, random streams)."""
 
-from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.kernel import EventHandle, RecurringEvent, Simulator
 from repro.sim.units import US_PER_MS, US_PER_S, ms, seconds, to_ms, to_seconds, us
 
 __all__ = [
     "EventHandle",
+    "RecurringEvent",
     "Simulator",
     "US_PER_MS",
     "US_PER_S",

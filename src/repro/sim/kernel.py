@@ -67,6 +67,47 @@ def _noop() -> None:
     return None
 
 
+class RecurringEvent:
+    """A periodic callback: fires every ``period`` microseconds until cancelled.
+
+    Returned by :meth:`Simulator.every`.  The callback runs first one period
+    after scheduling, then keeps rescheduling itself; :meth:`cancel` stops the
+    chain (including a fire already queued for the current tick).
+    """
+
+    __slots__ = ("_sim", "period", "_fn", "_args", "_handle", "cancelled", "fires")
+
+    def __init__(self, sim: "Simulator", period: int, fn: Callable[..., Any], args: tuple):
+        # Truncate before validating: a sub-microsecond float period would
+        # otherwise pass the check, truncate to 0, and livelock the clock.
+        period = int(period)
+        if period <= 0:
+            raise SimulationError(f"recurring period must be a positive tick count: {period}")
+        self._sim = sim
+        self.period = period
+        self._fn = fn
+        self._args = args
+        self.cancelled = False
+        self.fires = 0
+        self._handle = sim.schedule(self.period, self._fire)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fires += 1
+        # Reschedule before running so the callback may cancel the chain.
+        self._handle = self._sim.schedule(self.period, self._fire)
+        self._fn(*self._args)
+
+    def cancel(self) -> None:
+        """Stop firing (safe to call repeatedly, even from the callback)."""
+        if not self.cancelled:
+            self.cancelled = True
+            self._handle.cancel()
+            self._fn = _noop
+            self._args = ()
+
+
 class Simulator:
     """Event queue, clock, and reproducible random streams.
 
@@ -137,6 +178,15 @@ class Simulator:
     def call_now(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at the current tick (after pending peers)."""
         return self.schedule_at(self._now, fn, *args)
+
+    def every(self, period: int, fn: Callable[..., Any], *args: Any) -> RecurringEvent:
+        """Run ``fn(*args)`` every ``period`` microseconds until cancelled.
+
+        The first fire happens one full period from now.  Drives recurring
+        infrastructure (deployment dynamics, monitors) without each consumer
+        hand-rolling its own reschedule loop.
+        """
+        return RecurringEvent(self, period, fn, args)
 
     # ------------------------------------------------------------------
     # Execution

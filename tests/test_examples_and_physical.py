@@ -47,6 +47,13 @@ class TestExamples:
         assert "two independent applications share every mote" in out
         assert "freed its resources" in out
 
+    def test_mobile_perimeter(self, monkeypatch, capsys):
+        out = run_example("mobile_perimeter.py", monkeypatch, capsys)
+        assert "churn schedule armed" in out
+        assert "1 departure(s)" in out
+        assert "index rebuilds during run: 0" in out
+        assert "chaser survived the churn" in out
+
     def test_large_random_deployment(self, monkeypatch, capsys):
         out = run_example("large_random_deployment.py", monkeypatch, capsys)
         assert "deployed 400 motes" in out
