@@ -5,6 +5,9 @@ Usage::
     python -m repro.bench fig9 --runs 100
     python -m repro.bench all --runs 50 --out results/
     python -m repro.bench scale --nodes 25,400,1000
+    python -m repro.bench kernel --out results/
+    python -m repro.bench profile mobile-flood-400 --top 25
+    python -m repro.bench compare results/BENCH_scale.json new/BENCH_scale.json
     agilla-bench fig12
 """
 
@@ -18,9 +21,11 @@ import time
 from repro.bench import (
     ablations,
     claims,
+    compare,
     figures,
     mate_compare,
     memory_report,
+    perf,
     scale,
     scenarios,
 )
@@ -95,6 +100,54 @@ def _scale(args) -> list[Table]:
     ]
 
 
+def _kernel(args) -> list[Table]:
+    json_path = (
+        os.path.join(args.out, "BENCH_kernel.json") if args.out else "BENCH_kernel.json"
+    )
+    # Like the scenario sweep, the battery keeps its own duration unless the
+    # flag was passed explicitly (argparse default is None for kernel).
+    return [
+        perf.run_kernel_bench(
+            json_path=json_path,
+            seed=args.seed if args.seed is not None else 0,
+            sim_s=args.duration if args.duration is not None else perf.DEFAULT_KERNEL_SIM_S,
+        )
+    ]
+
+
+def _profile_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="agilla-bench profile",
+        description="cProfile one scenario run; write the top-N table to results/.",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=perf.DEFAULT_PROFILE_SCENARIO,
+        help="builtin scenario name or JSON spec path "
+        f"(default {perf.DEFAULT_PROFILE_SCENARIO})",
+    )
+    parser.add_argument(
+        "--top", type=int, default=perf.DEFAULT_TOP_N, help="rows of the stats table"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, help="override simulated seconds"
+    )
+    parser.add_argument(
+        "--out", default="results", help="directory for profile_<name>.txt"
+    )
+    args = parser.parse_args(argv)
+    print(
+        perf.run_profile(
+            args.scenario,
+            top_n=args.top,
+            duration_s=args.duration,
+            out_dir=args.out,
+        )
+    )
+    return 0
+
+
 EXPERIMENTS = {
     "fig5": lambda args: [figures.run_fig5()],
     "fig7": lambda args: [figures.run_fig7()],
@@ -114,10 +167,20 @@ EXPERIMENTS = {
     "ablation-blocks": lambda args: [ablations.run_ablation_code_blocks()],
     "scale": _scale,
     "scenario": _scenario,
+    "kernel": _kernel,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Two subcommands take their own positionals/flags and bypass the shared
+    # experiment parser: the artifact diff gate and the scenario profiler.
+    if argv and argv[0] == "compare":
+        return compare.main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="agilla-bench",
         description="Regenerate the Agilla paper's tables and figures.",
@@ -165,19 +228,19 @@ def main(argv: list[str] | None = None) -> int:
         help="scenario sweep: comma-separated builtin names or JSON spec paths",
     )
     args = parser.parse_args(argv)
-    # The scenario sweep needs to distinguish "flag omitted" (None: every spec
-    # keeps its own values) from an explicit override; resolve the shared
-    # defaults for everything else here.
-    if args.experiment != "scenario":
+    # The scenario sweep and kernel battery need to distinguish "flag
+    # omitted" (None: keep their own defaults) from an explicit override;
+    # resolve the shared defaults for everything else here.
+    if args.experiment not in ("scenario", "kernel"):
         if args.seed is None:
             args.seed = 0
         if args.duration is None:
             args.duration = scale.DEFAULT_DURATION_S
 
     if args.experiment == "all":
-        # fig9 emits fig10 too; the scale and scenario sweeps are their own,
-        # post-paper runs.
-        names = sorted(set(EXPERIMENTS) - {"fig10", "scale", "scenario"})
+        # fig9 emits fig10 too; the scale/scenario sweeps and the kernel
+        # micro-bench are their own, post-paper runs.
+        names = sorted(set(EXPERIMENTS) - {"fig10", "scale", "scenario", "kernel"})
     else:
         names = [args.experiment]
 

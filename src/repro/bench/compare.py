@@ -1,0 +1,132 @@
+"""Bench-artifact diff: the perf-regression gate.
+
+``python -m repro.bench compare OLD.json NEW.json [--max-drop 20]`` matches
+two bench artifacts (scale, scenario, or kernel sweeps) row by row and prints
+an old→new trend table for throughput and peak memory.  It exits non-zero
+when any matched row's events/s dropped by more than ``--max-drop`` percent —
+CI wires this against the committed ``results/`` baselines so a hot-path
+regression fails the build instead of silently eroding the numbers.
+
+Artifacts don't have to be the same shape era: rows are matched on their
+identity columns (topology+nodes, scenario name, or kernel case), extra rows
+on either side are reported but don't fail the gate, and columns absent from
+the older artifact (``peak_rss_kb`` predates nothing but its own
+introduction) degrade to "-".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+#: Row-identity columns tried in order; the first fully-present set wins.
+_KEY_CANDIDATES: tuple[tuple[str, ...], ...] = (
+    ("topology", "nodes"),
+    ("scenario",),
+    ("case",),
+)
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ValueError(f"{path}: not a bench artifact (missing 'rows')")
+    return payload
+
+
+def _key_fields(old_rows: list[dict], new_rows: list[dict]) -> tuple[str, ...]:
+    """Identity columns present in *both* artifacts — comparing a scale sweep
+    against a kernel bench is a usage error, not a traceback."""
+    for candidate in _KEY_CANDIDATES:
+        if all(
+            all(field in row for field in candidate) for row in old_rows + new_rows
+        ):
+            return candidate
+    raise ValueError(
+        "artifacts carry no shared identity columns (mixing different "
+        "bench kinds, e.g. a scale sweep against a kernel bench?)"
+    )
+
+
+def _keyed(rows: list[dict], fields: tuple[str, ...]) -> dict[tuple, dict]:
+    return {tuple(row[field] for field in fields): row for row in rows}
+
+
+def _fmt_mem(row: dict | None) -> str:
+    if row is None or "peak_rss_kb" not in row:
+        return "-"
+    return str(row["peak_rss_kb"])
+
+
+def compare_artifacts(
+    old_path: str, new_path: str, max_drop_pct: float = 20.0
+) -> tuple[str, list[str]]:
+    """Diff two artifacts.  Returns (rendered table, regression messages)."""
+    old_payload, new_payload = _load(old_path), _load(new_path)
+    fields = _key_fields(old_payload["rows"], new_payload["rows"])
+    old_rows = _keyed(old_payload["rows"], fields)
+    new_rows = _keyed(new_payload["rows"], fields)
+
+    header = (
+        f"{'row':<28} {'old ev/s':>10} {'new ev/s':>10} {'delta':>8} "
+        f"{'old KB':>9} {'new KB':>9}"
+    )
+    lines = [
+        f"== bench compare: {old_path} -> {new_path} "
+        f"(gate: events/s drop > {max_drop_pct:g}%) ==",
+        header,
+        "-" * len(header),
+    ]
+    regressions: list[str] = []
+    for key in new_rows:
+        label = "/".join(str(part) for part in key)
+        new_row = new_rows[key]
+        old_row = old_rows.get(key)
+        if old_row is None:
+            lines.append(
+                f"{label:<28} {'-':>10} {new_row.get('events_per_s', 0):>10} "
+                f"{'new':>8} {'-':>9} {_fmt_mem(new_row):>9}"
+            )
+            continue
+        old_eps = old_row.get("events_per_s", 0)
+        new_eps = new_row.get("events_per_s", 0)
+        delta_pct = 100.0 * (new_eps - old_eps) / old_eps if old_eps else 0.0
+        lines.append(
+            f"{label:<28} {old_eps:>10} {new_eps:>10} {delta_pct:>+7.1f}% "
+            f"{_fmt_mem(old_row):>9} {_fmt_mem(new_row):>9}"
+        )
+        if old_eps and delta_pct < -max_drop_pct:
+            regressions.append(
+                f"{label}: events/s fell {abs(delta_pct):.1f}% "
+                f"({old_eps} -> {new_eps}), beyond the {max_drop_pct:g}% budget"
+            )
+    missing = [key for key in old_rows if key not in new_rows]
+    for key in missing:
+        lines.append(f"{'/'.join(str(p) for p in key):<28} row missing from NEW")
+    if regressions:
+        lines.append("")
+        lines.extend(f"REGRESSION: {message}" for message in regressions)
+    else:
+        lines.append("")
+        lines.append("no throughput regressions beyond the budget")
+    return "\n".join(lines), regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="agilla-bench compare",
+        description="Diff two bench artifacts and fail on events/s regressions.",
+    )
+    parser.add_argument("old", help="baseline BENCH_*.json artifact")
+    parser.add_argument("new", help="candidate BENCH_*.json artifact")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=20.0,
+        help="largest tolerated events/s drop per row, in percent (default 20)",
+    )
+    args = parser.parse_args(argv)
+    report, regressions = compare_artifacts(args.old, args.new, args.max_drop)
+    print(report)
+    return 1 if regressions else 0

@@ -3,7 +3,29 @@
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass, field
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows: no getrusage
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process so far, in kilobytes.
+
+    Cheap enough to sample after every bench row (a getrusage call), unlike
+    ``tracemalloc`` which would distort the very throughput being measured.
+    The value is a *process-wide high-water mark*, so within one sweep it is
+    monotonic — a row shows the largest footprint reached up to and including
+    that row, which is exactly what a memory-regression diff needs.
+    """
+    if resource is None:  # pragma: no cover
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    return int(usage // 1024) if sys.platform == "darwin" else int(usage)
 
 
 @dataclass

@@ -21,7 +21,7 @@ import os
 import time
 
 from repro.apps import firedetector
-from repro.bench.reporting import Table
+from repro.bench.reporting import Table, peak_rss_kb
 from repro.network import SensorNetwork
 from repro.scenarios.workloads import count_tagged, hub_of
 from repro.topology import (
@@ -110,6 +110,9 @@ def run_one(
         "coverage": count_tagged(net, "fdt"),
         "collisions": net.channel.collisions,
         "mac_giveups": net.channel.mac_giveups,
+        #: Process-wide high-water mark at row end (monotonic within a sweep):
+        #: a footprint blow-up at any node count is visible in its row.
+        "peak_rss_kb": peak_rss_kb(),
     }
 
 
@@ -133,6 +136,7 @@ def run_scale(
             "frames",
             "frames/s",
             "coverage",
+            "peak KB",
         ],
     )
     rows = []
@@ -152,6 +156,7 @@ def run_scale(
                 result["frames"],
                 result["frames_per_s"],
                 result["coverage"],
+                result["peak_rss_kb"],
             )
     table.add_note(
         f"{duration_s:.0f} simulated seconds per cell; beacons on; "

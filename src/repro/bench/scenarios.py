@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 import os
 
-from repro.bench.reporting import Table
+from repro.bench.reporting import Table, peak_rss_kb
 from repro.scenarios import BUILTIN_SCENARIOS, DEFAULT_SCENARIOS, Scenario
 
 
@@ -26,7 +26,10 @@ def run_one(spec: dict | str, seed: int | None = None, duration_s: float | None 
         scenario.seed = seed
     if duration_s is not None:
         scenario.duration_s = duration_s
-    return scenario.run()
+    result = scenario.run()
+    # Process-wide high-water mark at row end (monotonic within a sweep).
+    result["peak_rss_kb"] = peak_rss_kb()
+    return result
 
 
 def run_scenarios(
@@ -54,6 +57,7 @@ def run_scenarios(
             "recoveries",
             "rebuilds",
             "coverage",
+            "peak KB",
         ],
     )
     rows = []
@@ -71,6 +75,7 @@ def run_scenarios(
             result["recoveries"],
             result["index_rebuilds"],
             result.get("coverage", "-"),
+            result["peak_rss_kb"],
         )
     table.add_note(
         "rebuilds = full hearer-index invalidations during the run; 0 means every "

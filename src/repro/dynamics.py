@@ -25,6 +25,7 @@ mirroring :func:`repro.topology.from_spec`, so scenario dynamics are data.
 
 from __future__ import annotations
 
+import heapq
 import math
 from random import Random
 from typing import Iterable, Sequence
@@ -253,7 +254,10 @@ class DutyCycle:
     """Periodic radio on/off: on for ``on_fraction`` of every ``period_s``.
 
     Each node gets a deterministic phase offset (staggered by default, so the
-    whole field never sleeps at once).  Evaluated at tick granularity.
+    whole field never sleeps at once).  Evaluated at tick granularity: the
+    driver keeps a *calendar* of each node's next wake/sleep boundary
+    (:meth:`next_transition`) so a tick only touches nodes whose state can
+    actually have changed — O(changes), not O(field).
     """
 
     def __init__(self, period_s: float = 10.0, on_fraction: float = 0.5, stagger: bool = True):
@@ -275,6 +279,22 @@ class DutyCycle:
     def awake(self, location: Location, now_s: float) -> bool:
         phase = self._phase.get(location, 0.0)
         return ((now_s + phase) % self.period_s) < self.on_fraction * self.period_s
+
+    def next_transition(self, location: Location, now_s: float) -> float:
+        """Earliest time strictly after ``now_s`` at which :meth:`awake` can
+        change for this node (``inf`` for an always-on cycle)."""
+        if self.on_fraction >= 1.0:
+            return math.inf
+        phase = self._phase.get(location, 0.0)
+        elapsed = (now_s + phase) % self.period_s
+        boundary = self.on_fraction * self.period_s
+        if elapsed < boundary:
+            due = now_s + (boundary - elapsed)  # awake now: next is lights-out
+        else:
+            due = now_s + (self.period_s - elapsed)  # asleep: next is wake-up
+        if due <= now_s:  # float-rounding guard at an exact boundary
+            due = now_s + self.period_s
+        return due
 
 
 # ----------------------------------------------------------------------
@@ -326,8 +346,16 @@ class DeploymentDynamics:
                 )
         if self.churn is not None:
             self.churn.start(field, self.rng)
+        #: Calendar of pending duty toggles: a heap of ``(due_s, location)``
+        #: pairs, one live entry per node.  Every node starts due *now* so the
+        #: first tick applies initial phases; after that a tick pops only the
+        #: nodes whose wake/sleep boundary has passed — O(changes) per tick.
+        self._duty_calendar: list[tuple[float, Location]] = []
         if self.duty_cycle is not None:
             self.duty_cycle.start(field, self.rng)
+            now_s = net.sim.now_seconds
+            self._duty_calendar = [(now_s, location) for location in field]
+            heapq.heapify(self._duty_calendar)
         self._alive: dict[Location, bool] = {location: True for location in field}
         self._gone: set[Location] = set()
 
@@ -337,6 +365,7 @@ class DeploymentDynamics:
         self.recoveries = 0
         self.departures = 0
         self.radio_toggles = 0
+        self.duty_evaluations = 0
 
     # ------------------------------------------------------------------
     def _field_bounds(self, field: Sequence[Location]) -> Bounds:
@@ -444,10 +473,30 @@ class DeploymentDynamics:
             self._sync_radio(location, now_s)
 
     def _apply_duty_cycle(self, now_s: float) -> None:
-        for location in self._field:
+        """Apply duty toggles due by ``now_s`` — O(changes), not O(field).
+
+        Only calendar entries whose wake/sleep boundary has passed are
+        popped; each is re-armed with the node's next boundary.  A tick with
+        nothing due costs exactly one heap peek.  (The tiny epsilon absorbs
+        float error in boundaries that land exactly on a tick.)
+        """
+        calendar = self._duty_calendar
+        horizon = now_s + 1e-9
+        while calendar and calendar[0][0] <= horizon:
+            _, location = heapq.heappop(calendar)
             if location in self._gone:
-                continue
+                continue  # departed: drop its calendar entry for good
+            self.duty_evaluations += 1
             self._sync_radio(location, now_s)
+            if location in self._gone:
+                continue  # _sync_radio discovered an external departure
+            due = self.duty_cycle.next_transition(location, now_s)
+            if due <= horizon:
+                # A boundary within float-epsilon of this tick: we just synced
+                # against it, so look again next tick rather than re-popping
+                # the same entry forever within this one.
+                due = now_s + self.tick_s
+            heapq.heappush(calendar, (due, location))
 
     def _sync_radio(self, location: Location, now_s: float) -> None:
         if self.net.channel.radio_for(self.net.topology.mote_id(location)) is None:
@@ -472,6 +521,7 @@ class DeploymentDynamics:
             "recoveries": self.recoveries,
             "departures": self.departures,
             "radio_toggles": self.radio_toggles,
+            "duty_evaluations": self.duty_evaluations,
         }
 
 

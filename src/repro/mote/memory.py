@@ -40,6 +40,10 @@ class MemoryLedger:
         self.flash_capacity = flash_capacity
         self._ram: list[Allocation] = []
         self._flash: list[Allocation] = []
+        # Running totals: allocate/free are on the agent-arrival hot path, so
+        # usage is maintained incrementally instead of summed per query.
+        self._ram_used = 0
+        self._flash_used = 0
 
     # ------------------------------------------------------------------
     # RAM (data memory)
@@ -48,22 +52,24 @@ class MemoryLedger:
         """Register a static RAM buffer; raises if the 4 KB budget is blown."""
         if nbytes < 0:
             raise MemoryBudgetError(f"negative allocation: {nbytes}")
-        if self.ram_used + nbytes > self.ram_capacity:
+        if self._ram_used + nbytes > self.ram_capacity:
             raise MemoryBudgetError(
                 f"{component}/{label}: {nbytes} B would exceed RAM budget "
-                f"({self.ram_used}/{self.ram_capacity} B used)"
+                f"({self._ram_used}/{self.ram_capacity} B used)"
             )
         allocation = Allocation(component, label, nbytes)
         self._ram.append(allocation)
+        self._ram_used += nbytes
         return allocation
 
     def free(self, allocation: Allocation) -> None:
         """Release a previously registered buffer (for torn-down components)."""
         self._ram.remove(allocation)
+        self._ram_used -= allocation.nbytes
 
     @property
     def ram_used(self) -> int:
-        return sum(a.nbytes for a in self._ram)
+        return self._ram_used
 
     @property
     def ram_free(self) -> int:
@@ -74,15 +80,16 @@ class MemoryLedger:
     # ------------------------------------------------------------------
     def record_code(self, component: str, nbytes: int) -> None:
         """Register a component's code (flash) footprint."""
-        if self.flash_used + nbytes > self.flash_capacity:
+        if self._flash_used + nbytes > self.flash_capacity:
             raise MemoryBudgetError(
                 f"{component}: {nbytes} B of code would exceed flash budget"
             )
         self._flash.append(Allocation(component, "code", nbytes))
+        self._flash_used += nbytes
 
     @property
     def flash_used(self) -> int:
-        return sum(a.nbytes for a in self._flash)
+        return self._flash_used
 
     # ------------------------------------------------------------------
     # Reporting

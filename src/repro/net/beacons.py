@@ -40,6 +40,10 @@ class BeaconService:
         self._rng = mote.sim.rng(f"beacon/{mote.id}")
         self._timer = mote.new_timer(self._beat)
         stack.register_handler(am.AM_BEACON, self._on_beacon)
+        # Lazy beaconing: while the radio is down (duty-cycle sleep, crash)
+        # the beat timer is *suspended* — no kernel events at all — and on
+        # power-up it resumes with the remaining jittered delay preserved.
+        stack.radio.power_listeners.append(self._on_radio_power)
         mote.memory.allocate(
             "ContextManager",
             "acquaintance list",
@@ -51,12 +55,34 @@ class BeaconService:
     def start(self, immediate: bool = False) -> None:
         """Begin beaconing.  ``immediate`` also sends one beacon right away
         (useful to warm up neighbor tables quickly in experiments)."""
-        if immediate:
-            self._transmit()
+        # Restartable after stop(): re-attach the power listener it removed.
+        radio = self.stack.radio
+        if self._on_radio_power not in radio.power_listeners:
+            radio.power_listeners.append(self._on_radio_power)
+        if immediate and radio.enabled:
+            self._transmit()  # a sleeping radio sends nothing: don't count one
         self._schedule_next()
+        if not radio.enabled:
+            self._timer.pause()  # radio already asleep: stay silent until up
 
     def stop(self) -> None:
+        """Stop beaconing for good; also detaches the radio power listener so
+        a stopped service is not kept alive (or resurrected) by power flips."""
         self._timer.stop()
+        listeners = self.stack.radio.power_listeners
+        if self._on_radio_power in listeners:
+            listeners.remove(self._on_radio_power)
+
+    @property
+    def suspended(self) -> bool:
+        """True while the beat timer is frozen because the radio is down."""
+        return self._timer.paused
+
+    def _on_radio_power(self, up: bool) -> None:
+        if up:
+            self._timer.resume()
+        else:
+            self._timer.pause()
 
     def _schedule_next(self) -> None:
         # +/-25% jitter desynchronizes the network's beacons.

@@ -57,7 +57,11 @@ class Radio:
         self.channel = channel
         self.mote = mote
         self.position = position
-        self.enabled = True
+        self._enabled = True
+        #: Callbacks invoked with the new power state whenever ``enabled``
+        #: actually flips.  Lets periodic services (beacons) suspend while
+        #: the radio sleeps instead of firing and no-op'ing every period.
+        self.power_listeners: list[Callable[[bool], None]] = []
         self._receive_callback: Callable[[Frame], None] | None = None
         self._current_tx: Transmission | None = None
         self._send_pending = False
@@ -68,6 +72,20 @@ class Radio:
         self.bytes_sent = 0
 
     # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Is the radio powered?  Assigning notifies ``power_listeners``."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, up: bool) -> None:
+        up = bool(up)
+        if up == self._enabled:
+            return
+        self._enabled = up
+        for listener in list(self.power_listeners):
+            listener(up)
+
     @property
     def sim(self) -> Simulator:
         return self.channel.sim
@@ -197,6 +215,9 @@ class Channel:
         self._radios: dict[int, Radio] = {}
         self._attach_counter = 0
         self._transmissions: deque[Transmission] = deque()
+        #: The handful of transmissions currently on the air — what carrier
+        #: sense actually scans, instead of the whole recent-history deque.
+        self._on_air: list[Transmission] = []
         self._max_airtime_us = 0
         # Hearer index: mote id -> radios in range of that transmitter, in
         # attach order (kept as list for iteration plus id-set for membership).
@@ -409,7 +430,7 @@ class Channel:
     def busy_for(self, radio: Radio) -> bool:
         """Carrier sense: is any audible transmission in progress?"""
         now = self.sim.now
-        for tx in self._transmissions:
+        for tx in self._on_air:
             if tx.start <= now < tx.end and tx.radio is not radio:
                 if self._can_hear(tx.radio, radio):
                     return True
@@ -420,40 +441,73 @@ class Channel:
             self._max_airtime_us = tx.end - tx.start
         self._prune(tx.start)
         self._transmissions.append(tx)
+        self._on_air.append(tx)
         self.frames_transmitted += 1
 
     def end_transmission(self, tx: Transmission) -> None:
         """Frame finished: decide reception independently per receiver.
 
         Only the transmitter's cached hearer list is visited — O(degree) per
-        frame — never the full radio population.
+        frame — never the full radio population.  The transmissions that
+        overlap ``tx`` are computed once up front, so the per-receiver
+        collision check scans the (usually empty or tiny) overlap list
+        instead of the whole recent-transmission deque.
         """
-        for radio in self.hearers(tx.radio):
-            if not radio.enabled:
+        self._on_air.remove(tx)
+        hearers = self.hearers(tx.radio)
+        if not hearers:
+            return  # nobody in range: skip the overlap precompute entirely
+        # Hot path: the deque holds every recent transmission, but only the
+        # ones overlapping [tx.start, tx.end) from other radios can corrupt
+        # this frame, and that set is shared by all receivers — so resolve
+        # each one's hearer-id set once up front and the per-receiver check
+        # becomes a set membership.
+        overlapping = None
+        start, end = tx.start, tx.end
+        for other in self._transmissions:
+            if (
+                other is not tx
+                and other.radio is not tx.radio
+                and other.start < end
+                and other.end > start
+            ):
+                other_id = other.radio.mote.id
+                if other_id not in self._hearer_ids:
+                    self.hearers(other.radio)
+                if overlapping is None:
+                    overlapping = []
+                overlapping.append((other.radio, self._hearer_ids[other_id]))
+        tx_id = tx.radio.mote.id
+        tx_position = tx.radio.position
+        overrides = self.prr_overrides
+        link_prr = self._link_model.prr
+        random = self.rng.random
+        for radio in hearers:
+            if not radio._enabled:
                 continue
-            if radio.transmitting_during(tx.start, tx.end):
+            receiver_tx = radio._current_tx
+            if receiver_tx is not None and receiver_tx.start < end and receiver_tx.end > start:
                 continue  # half-duplex: was busy sending
-            if self._collided(tx, radio):
+            if overlapping is not None and self._collided(overlapping, radio):
                 self.collisions += 1
                 continue
-            prr = self.prr_overrides.get(
-                (tx.radio.mote.id, radio.mote.id),
-                self.link_model.prr(tx.radio.position, radio.position),
-            )
-            if self.rng.random() >= prr:
+            prr = overrides.get((tx_id, radio.mote.id)) if overrides else None
+            if prr is None:
+                prr = link_prr(tx_position, radio.position)
+            if random() >= prr:
                 self.prr_drops += 1
                 continue
             radio.deliver(tx.frame)
 
-    def _collided(self, tx: Transmission, receiver: Radio) -> bool:
-        for other in self._transmissions:
-            if other is tx or other.radio is tx.radio:
-                continue
-            if other.start < tx.end and other.end > tx.start:
-                # The receiver's own (already finished) transmission corrupts
-                # the frame too: half-duplex, and a radio always hears itself.
-                if other.radio is receiver or self._can_hear(other.radio, receiver):
-                    return True
+    def _collided(
+        self, overlapping: list[tuple[Radio, frozenset[int]]], receiver: Radio
+    ) -> bool:
+        receiver_id = receiver.mote.id
+        for other_radio, audible_ids in overlapping:
+            # The receiver's own (already finished) transmission corrupts
+            # the frame too: half-duplex, and a radio always hears itself.
+            if other_radio is receiver or receiver_id in audible_ids:
+                return True
         return False
 
     def _prune(self, now: int) -> None:

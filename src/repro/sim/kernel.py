@@ -8,6 +8,21 @@ streams makes every run bit-for-bit reproducible.
 The kernel is deliberately minimal: just a cancellable event queue plus RNG
 management.  Node-local execution semantics (run-to-completion tasks on one
 slow CPU) live in :mod:`repro.tinyos` and :mod:`repro.mote`.
+
+Two hot-path properties keep large deployments fast without changing the
+``(time, seq)`` firing order:
+
+* Heap entries are plain ``(time, seq, handle)`` tuples, so ``heapq``
+  comparisons run as C-level int compares instead of a Python ``__lt__``
+  per sift step, and a fired handle can be *reused* for the next link of a
+  periodic chain (:meth:`Simulator.reschedule`) instead of allocating a
+  fresh :class:`EventHandle` every fire.
+* Cancelled events stay in the heap as dead weight until their turn — cheap
+  for occasional cancels, but TinyOS-style ``Timer.stop``/restart churn can
+  pin thousands of dead entries.  When the dead fraction crosses
+  :data:`Simulator.COMPACT_DEAD_FRACTION` the queue is rebuilt in place
+  (:meth:`Simulator._compact`), which preserves the heap's total order
+  exactly because ``(time, seq)`` keys are unique.
 """
 
 from __future__ import annotations
@@ -46,7 +61,7 @@ class EventHandle:
         if not self.cancelled:
             self.cancelled = True
             if not self._popped and self._sim is not None:
-                self._sim._pending -= 1
+                self._sim._note_cancel()
         # Drop references so cancelled events pinned in the heap don't keep
         # large object graphs (agents, frames) alive.
         self._fn = _noop
@@ -54,9 +69,6 @@ class EventHandle:
 
     def fire(self) -> None:
         self._fn(*self._args)
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self._seq) < (other.time, other._seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -72,7 +84,8 @@ class RecurringEvent:
 
     Returned by :meth:`Simulator.every`.  The callback runs first one period
     after scheduling, then keeps rescheduling itself; :meth:`cancel` stops the
-    chain (including a fire already queued for the current tick).
+    chain (including a fire already queued for the current tick).  The whole
+    chain reuses a single :class:`EventHandle`.
     """
 
     __slots__ = ("_sim", "period", "_fn", "_args", "_handle", "cancelled", "fires")
@@ -96,7 +109,7 @@ class RecurringEvent:
             return
         self.fires += 1
         # Reschedule before running so the callback may cancel the chain.
-        self._handle = self._sim.schedule(self.period, self._fire)
+        self._handle = self._sim.reschedule(self._handle, self.period)
         self._fn(*self._args)
 
     def cancel(self) -> None:
@@ -119,16 +132,25 @@ class Simulator:
         adding a new consumer of randomness never perturbs existing ones.
     """
 
+    #: Compact once cancelled entries exceed this fraction of the queue …
+    COMPACT_DEAD_FRACTION = 0.5
+    #: … but never bother below this queue size.
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self, seed: int = 0):
         self.seed = seed
         self._now = 0
         self._seq = 0
-        self._queue: list[EventHandle] = []
+        #: Heap of ``(time, seq, handle)``: plain-tuple keys so heap sifts
+        #: compare ints in C and never call back into Python.
+        self._queue: list[tuple[int, int, EventHandle]] = []
         self._pending = 0
         self._rngs: dict[str, random.Random] = {}
         self._running = False
         self._stopped = False
         self.events_fired = 0
+        self.compactions = 0
+        self.handle_reuses = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -163,10 +185,12 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past (now={self._now}, requested={time})"
             )
-        handle = EventHandle(int(time), self._seq, fn, args, self)
-        self._seq += 1
+        time = int(time)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, fn, args, self)
         self._pending += 1
-        heapq.heappush(self._queue, handle)
+        heapq.heappush(self._queue, (time, seq, handle))
         return handle
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
@@ -179,6 +203,31 @@ class Simulator:
         """Schedule ``fn(*args)`` at the current tick (after pending peers)."""
         return self.schedule_at(self._now, fn, *args)
 
+    def reschedule(self, handle: EventHandle, delay: int) -> EventHandle:
+        """Re-arm a *fired* handle ``delay`` microseconds from now.
+
+        The allocation-lean path for periodic chains: the handle keeps its
+        callback and arguments but gets a fresh ``(time, seq)`` key — exactly
+        the key a newly constructed handle would have received, so firing
+        order is bit-for-bit identical to scheduling from scratch.  Only a
+        handle that has already been popped from the queue (it fired) and was
+        not cancelled may be reused.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        if handle.cancelled or not handle._popped:
+            raise SimulationError("only a fired, uncancelled handle can be rescheduled")
+        time = self._now + int(delay)
+        seq = self._seq
+        self._seq = seq + 1
+        handle.time = time
+        handle._seq = seq
+        handle._popped = False
+        self._pending += 1
+        self.handle_reuses += 1
+        heapq.heappush(self._queue, (time, seq, handle))
+        return handle
+
     def every(self, period: int, fn: Callable[..., Any], *args: Any) -> RecurringEvent:
         """Run ``fn(*args)`` every ``period`` microseconds until cancelled.
 
@@ -189,19 +238,46 @@ class Simulator:
         return RecurringEvent(self, period, fn, args)
 
     # ------------------------------------------------------------------
+    # Queue hygiene
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """A queued event was cancelled: update the live count, and compact
+        the heap once dead entries dominate it."""
+        self._pending -= 1
+        queued = len(self._queue)
+        if (
+            queued >= self.COMPACT_MIN_QUEUE
+            and queued - self._pending > queued * self.COMPACT_DEAD_FRACTION
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries.
+
+        Safe at any point outside the ``heappush``/``heappop`` calls
+        themselves: ``(time, seq)`` keys are unique, so heapify restores the
+        exact same total order and the pop sequence of live events is
+        unchanged.
+        """
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, event = heapq.heappop(queue)
             event._popped = True
             if event.cancelled:
                 continue
             self._pending -= 1
-            self._now = event.time
+            self._now = time
             self.events_fired += 1
-            event.fire()
+            event._fn(*event._args)
             return True
         return False
 
@@ -216,10 +292,11 @@ class Simulator:
 
         ``duration`` limits how far the clock may advance past the current
         time; ``until`` gives an absolute deadline; ``max_events`` bounds the
-        number of callbacks (a safety valve for tests).  With no limits, runs
-        until the event queue drains or :meth:`stop` is called.  The clock is
-        advanced to the deadline even if the queue drains earlier, so back-to-
-        back ``run`` calls see consistent time.
+        number of callbacks (a safety valve for tests).  The clock advances to
+        the deadline only when the queue was actually drained past it — a run
+        cut short by ``max_events`` or :meth:`stop` leaves the clock at the
+        last fired event, so the remaining queued events cannot end up in the
+        clock's past.
         """
         if duration is not None and until is not None:
             raise SimulationError("pass either duration or until, not both")
@@ -234,21 +311,31 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        # True only when the loop finished normally (queue empty, deadline
+        # reached, or stop()): a max_events return or an exception from a
+        # callback must NOT fast-forward the clock over still-queued events.
+        drained = False
         try:
             while self._queue and not self._stopped:
                 if max_events is not None and fired >= max_events:
                     return
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)._popped = True
+                entry = self._queue[0]
+                if entry[2].cancelled:
+                    heapq.heappop(self._queue)[2]._popped = True
                     continue
-                if deadline is not None and head.time > deadline:
+                if deadline is not None and entry[0] > deadline:
                     break
                 self.step()
                 fired += 1
+            drained = True
         finally:
             self._running = False
-            if deadline is not None and not self._stopped and self._now < deadline:
+            if (
+                deadline is not None
+                and drained
+                and not self._stopped
+                and self._now < deadline
+            ):
                 self._now = deadline
 
     def run_until_idle(self, max_events: int = 1_000_000) -> None:
@@ -267,6 +354,19 @@ class Simulator:
         rather than scanned, so monitoring a large simulation is O(1).
         """
         return self._pending
+
+    def stats(self) -> dict:
+        """Queue and hot-path health for benchmarks and monitoring."""
+        queued = len(self._queue)
+        return {
+            "now_us": self._now,
+            "events_fired": self.events_fired,
+            "queued": queued,
+            "live": self._pending,
+            "dead": queued - self._pending,
+            "compactions": self.compactions,
+            "handle_reuses": self.handle_reuses,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self._now}us queue={len(self._queue)}>"

@@ -14,13 +14,25 @@ class Timer:
     Mirrors TinyOS's ``Timer`` interface: ``start_one_shot``,
     ``start_periodic``, ``stop``.  A timer holds at most one pending firing;
     restarting cancels the previous schedule.
+
+    Beyond TinyOS, :meth:`pause` and :meth:`resume` freeze and continue the
+    countdown with the remaining delay preserved — the substrate for services
+    that go quiet while their radio sleeps instead of firing and no-op'ing
+    every period.
+
+    Allocation note: a periodic timer, and a one-shot timer restarted from
+    (or right after) its own callback — the beacon pattern — recycle the
+    handle that just fired via :meth:`Simulator.reschedule` instead of
+    allocating a fresh one per firing.
     """
 
     def __init__(self, sim: Simulator, callback: Callable[[], Any]):
         self.sim = sim
         self.callback = callback
         self._pending: EventHandle | None = None
+        self._spent: EventHandle | None = None
         self._period: int | None = None
+        self._paused_remaining: int | None = None
         self.fired_count = 0
 
     # ------------------------------------------------------------------
@@ -28,13 +40,18 @@ class Timer:
     def running(self) -> bool:
         return self._pending is not None and not self._pending.cancelled
 
+    @property
+    def paused(self) -> bool:
+        """True when :meth:`pause` froze a pending firing."""
+        return self._paused_remaining is not None
+
     def start_one_shot(self, delay: int) -> None:
         """Fire once after ``delay`` microseconds."""
         if delay < 0:
             raise SimulationError(f"negative timer delay: {delay}")
         self.stop()
         self._period = None
-        self._pending = self.sim.schedule(delay, self._fire)
+        self._arm(delay)
 
     def start_periodic(self, period: int) -> None:
         """Fire every ``period`` microseconds until stopped."""
@@ -42,18 +59,50 @@ class Timer:
             raise SimulationError(f"non-positive timer period: {period}")
         self.stop()
         self._period = int(period)
-        self._pending = self.sim.schedule(self._period, self._fire)
+        self._arm(self._period)
 
     def stop(self) -> None:
-        """Cancel any pending firing."""
+        """Cancel any pending firing (also discards a paused one)."""
+        self._paused_remaining = None
         if self._pending is not None:
             self._pending.cancel()
             self._pending = None
 
-    # ------------------------------------------------------------------
-    def _fire(self) -> None:
+    def pause(self) -> None:
+        """Freeze the countdown, remembering how much delay remains.
+
+        A no-op unless the timer is running.  For a periodic timer the period
+        is kept, so :meth:`resume` finishes the interrupted interval and then
+        continues periodically.
+        """
+        if self._pending is None or self._pending.cancelled:
+            return
+        self._paused_remaining = max(0, self._pending.time - self.sim.now)
+        self._pending.cancel()
         self._pending = None
+
+    def resume(self) -> None:
+        """Continue a paused countdown with the preserved remaining delay."""
+        if self._paused_remaining is None:
+            return
+        delay = self._paused_remaining
+        self._paused_remaining = None
+        self._arm(delay)
+
+    # ------------------------------------------------------------------
+    def _arm(self, delay: int) -> None:
+        spent = self._spent
+        if spent is not None and spent._popped and not spent.cancelled:
+            self._spent = None
+            self._pending = self.sim.reschedule(spent, delay)
+        else:
+            self._pending = self.sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        spent = self._pending
+        self._pending = None
+        self._spent = spent
         self.fired_count += 1
         if self._period is not None:
-            self._pending = self.sim.schedule(self._period, self._fire)
+            self._arm(self._period)
         self.callback()

@@ -124,3 +124,139 @@ class TestScaleSweep:
 
         payload = json.loads((tmp_path / "BENCH_scale.json").read_text())
         assert {row["topology"] for row in payload["rows"]} == {"grid", "random"}
+        import sys
+
+        # peak_rss_kb degrades to 0 only where getrusage is missing (Windows).
+        floor = 0 if sys.platform == "win32" else 1
+        assert all(row["peak_rss_kb"] >= floor for row in payload["rows"])
+
+
+class TestKernelBench:
+    def test_kernel_bench_exercises_reuse_and_compaction(self, tmp_path):
+        import json
+
+        from repro.bench.perf import run_kernel_bench
+
+        json_path = str(tmp_path / "BENCH_kernel.json")
+        table = run_kernel_bench(json_path=json_path)
+        rows = {row["case"]: row for row in json.loads(open(json_path).read())["rows"]}
+        assert rows["periodic-chains"]["handle_reuses"] > 0
+        assert rows["timer-churn"]["compactions"] > 0
+        assert rows["cancel-heavy"]["compactions"] > 0
+        assert all(row["events_per_s"] > 0 for row in rows.values())
+        assert table.column("case") == list(rows)
+
+    def test_cli_kernel_subcommand(self, tmp_path, capsys):
+        assert main(["kernel", "--out", str(tmp_path)]) == 0
+        assert "kernel" in capsys.readouterr().out
+        assert (tmp_path / "BENCH_kernel.json").exists()
+
+
+class TestProfileSubcommand:
+    def test_profile_writes_top_n_table(self, tmp_path, capsys):
+        import json
+
+        spec = {
+            "name": "mini-profile",
+            "topology": {"kind": "grid", "width": 4, "height": 4},
+            "workload": {"kind": "flood"},
+            "duration_s": 2.0,
+            "spacing_m": 60.0,
+        }
+        spec_path = tmp_path / "mini.json"
+        spec_path.write_text(json.dumps(spec))
+        assert main(["profile", str(spec_path), "--top", "5", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mini-profile" in out
+        assert "cumulative" in out  # pstats table made it out
+        report = (tmp_path / "profile_mini-profile.txt").read_text()
+        assert "events_per_s" in report
+        assert "handle_reuses" in report  # kernel stats ride along
+
+
+class TestCompareGate:
+    def _write(self, path, rows, experiment="scale"):
+        import json
+
+        path.write_text(json.dumps({"experiment": experiment, "rows": rows}))
+        return str(path)
+
+    def test_within_budget_passes(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path / "old.json",
+            [{"topology": "grid", "nodes": 25, "events_per_s": 1000, "peak_rss_kb": 90}],
+        )
+        new = self._write(
+            tmp_path / "new.json",
+            [{"topology": "grid", "nodes": 25, "events_per_s": 900, "peak_rss_kb": 95}],
+        )
+        assert main(["compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "grid/25" in out
+        assert "-10.0%" in out
+        assert "no throughput regressions" in out
+
+    def test_regression_beyond_budget_fails(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path / "old.json",
+            [{"topology": "grid", "nodes": 25, "events_per_s": 1000}],
+        )
+        new = self._write(
+            tmp_path / "new.json",
+            [{"topology": "grid", "nodes": 25, "events_per_s": 500}],
+        )
+        assert main(["compare", old, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_max_drop_flag_widens_the_budget(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path / "old.json",
+            [{"scenario": "mobile-tracker", "events_per_s": 1000}],
+        )
+        new = self._write(
+            tmp_path / "new.json",
+            [{"scenario": "mobile-tracker", "events_per_s": 500}],
+        )
+        assert main(["compare", old, new, "--max-drop", "60"]) == 0
+        capsys.readouterr()
+
+    def test_new_and_missing_rows_are_reported_not_fatal(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path / "old.json",
+            [
+                {"scenario": "a", "events_per_s": 1000},
+                {"scenario": "gone", "events_per_s": 1000},
+            ],
+        )
+        new = self._write(
+            tmp_path / "new.json",
+            [
+                {"scenario": "a", "events_per_s": 1100},
+                {"scenario": "fresh", "events_per_s": 10},
+            ],
+        )
+        assert main(["compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "missing from NEW" in out
+        assert "fresh" in out
+
+    def test_memory_column_degrades_when_absent_from_old(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path / "old.json", [{"case": "periodic-chains", "events_per_s": 10}]
+        )
+        new = self._write(
+            tmp_path / "new.json",
+            [{"case": "periodic-chains", "events_per_s": 11, "peak_rss_kb": 77}],
+        )
+        assert main(["compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "77" in out
+
+    def test_malformed_artifact_rejected(self, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"nope": []}))
+        good = self._write(tmp_path / "good.json", [{"case": "x", "events_per_s": 1}])
+        with pytest.raises(ValueError):
+            main(["compare", str(bad), good])

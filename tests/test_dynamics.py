@@ -406,6 +406,79 @@ class TestDeploymentDynamics:
         assert dynamics.radio_toggles > 0
         net.sim.run_until_idle()  # drain; all radios settle per their phase
 
+    def test_duty_tick_is_o_changes_not_o_field(self):
+        """The acceptance criterion: a tick with no due toggles does zero
+        per-node work — only the calendar peek."""
+        net = _grid_net()  # 16 nodes
+        dynamics = DeploymentDynamics(
+            net,
+            duty_cycle=DutyCycle(period_s=10.0, on_fraction=0.5, stagger=False),
+            tick_s=0.5,
+        ).start()
+        net.run(0.6)  # first tick: the whole field is due once (phase 0)
+        assert dynamics.duty_evaluations == 16
+        net.run(4.0)  # ticks 1.0 .. 4.5: nothing due before the 5 s boundary
+        assert dynamics.duty_evaluations == 16  # zero evaluations on quiet ticks
+        assert dynamics.radio_toggles == 0
+        net.run(1.0)  # the 5 s lights-out boundary passes
+        assert dynamics.duty_evaluations == 32
+        assert dynamics.radio_toggles == 16  # everyone went dark, exactly once
+
+    def test_duty_evaluations_scale_with_transitions_not_ticks(self):
+        net = _grid_net()  # 16 nodes, staggered phases
+        dynamics = DeploymentDynamics(
+            net, duty_cycle=DutyCycle(period_s=10.0, on_fraction=0.5), tick_s=0.1
+        ).start()
+        net.run(30.0)  # 300 ticks; an O(field) sweep would do 16 * 300 work
+        transitions = 16 * 2 * 3  # 2 boundaries per node per 10 s period
+        assert dynamics.duty_evaluations <= transitions + 16  # + initial sync
+        assert dynamics.duty_evaluations < 16 * 300 / 10  # nowhere near O(field)
+
+    def test_duty_calendar_matches_awake_predicate_every_tick(self):
+        """Equivalence with the old full sweep: after every tick each node's
+        radio equals alive && awake — the invariant the O(field) version
+        enforced by brute force."""
+        net = _grid_net(seed=5)
+        duty = DutyCycle(period_s=3.0, on_fraction=0.4)
+        dynamics = DeploymentDynamics(net, duty_cycle=duty, tick_s=0.5).start()
+        toggles = 0
+        for _ in range(40):
+            net.run(0.5)
+            now_s = net.sim.now_seconds
+            for location in net.topology.locations():
+                assert net.node_up(location) == duty.awake(location, now_s)
+            toggles = dynamics.radio_toggles
+        assert toggles > 0
+
+    def test_duty_calendar_composes_with_churn(self):
+        net = _grid_net(seed=2)
+        duty = DutyCycle(period_s=4.0, on_fraction=0.75)
+        dynamics = DeploymentDynamics(
+            net,
+            churn=RandomLifetimes(mtbf_s=8.0, mttr_s=4.0),
+            duty_cycle=duty,
+            tick_s=0.5,
+        ).start()
+        net.run(40.0)
+        assert dynamics.fails > 0 and dynamics.recoveries > 0
+        # A dead node stays down regardless of its duty phase; a live one
+        # follows the duty predicate.
+        now_s = net.sim.now_seconds
+        for location in net.topology.locations():
+            expected = dynamics._alive[location] and duty.awake(location, now_s)
+            assert net.node_up(location) == expected
+
+    def test_duty_calendar_drops_departed_nodes(self):
+        net = _grid_net()
+        dynamics = DeploymentDynamics(
+            net, duty_cycle=DutyCycle(period_s=2.0, on_fraction=0.5), tick_s=0.5
+        ).start()
+        net.run(1.0)
+        net.detach_node((2, 2))  # departure the driver did not orchestrate
+        net.run(10.0)  # calendar pops for (2,2) must be dropped, not re-armed
+        assert Location(2, 2) in dynamics._gone
+        assert all(loc != Location(2, 2) for _, loc in dynamics._duty_calendar)
+
     def test_failed_node_receives_nothing(self):
         net = _grid_net(2, 2)
         radio = net.channel.radio_for(net.topology.mote_id(Location(1, 1)))

@@ -209,6 +209,97 @@ class TestBeacons:
         assert service.acquaintances.count() == 1
 
 
+class TestBeaconSuspendResume:
+    """Lazy beaconing: a down radio schedules no beacon work at all."""
+
+    def _started_pair(self):
+        sim, channel, motes, stacks = build_pair()
+        services = [BeaconService(m, s) for m, s in zip(motes, stacks)]
+        for service in services:
+            service.start()
+        return sim, motes, stacks, services
+
+    def test_radio_down_suspends_and_counts_stay_put(self):
+        sim, motes, stacks, services = self._started_pair()
+        sim.run(duration=seconds(10))
+        sent_while_up = services[0].beacons_sent
+        assert sent_while_up > 0
+        stacks[0].radio.enabled = False
+        assert services[0].suspended
+        assert not services[0]._timer.running  # no queued beat at all
+        sim.run(duration=seconds(120))
+        # beacons_sent only counts real transmissions: none while asleep.
+        assert services[0].beacons_sent == sent_while_up
+        assert services[1].beacons_sent > sent_while_up  # peer kept going
+
+    def test_radio_up_resumes_with_preserved_jitter(self):
+        sim, motes, stacks, services = self._started_pair()
+        sim.run(duration=seconds(3))
+        due = services[0]._timer._pending.time
+        remaining = due - sim.now
+        stacks[0].radio.enabled = False
+        slept_us = seconds(60)
+        sim.run(duration=slept_us)
+        stacks[0].radio.enabled = True
+        assert not services[0].suspended
+        # The interrupted jittered countdown continues where it stopped.
+        assert services[0]._timer._pending.time == sim.now + remaining
+        sent = services[0].beacons_sent
+        sim.run(duration=remaining + 1)
+        assert services[0].beacons_sent == sent + 1
+
+    def test_redundant_power_writes_do_not_stack(self):
+        sim, motes, stacks, services = self._started_pair()
+        sim.run(duration=seconds(1))
+        stacks[0].radio.enabled = False
+        stacks[0].radio.enabled = False  # listener must not fire twice
+        assert services[0].suspended
+        stacks[0].radio.enabled = True
+        stacks[0].radio.enabled = True
+        assert services[0].suspended is False
+        assert services[0]._timer.running
+
+    def test_start_while_radio_down_stays_silent_until_up(self):
+        sim, channel, motes, stacks = build_pair()
+        stacks[0].radio.enabled = False
+        service = BeaconService(motes[0], stacks[0])
+        service.start()
+        assert service.suspended
+        sim.run(duration=seconds(30))
+        assert service.beacons_sent == 0
+        stacks[0].radio.enabled = True
+        sim.run(duration=seconds(10))
+        assert service.beacons_sent > 0
+
+    def test_stop_then_start_round_trips_the_power_listener(self):
+        sim, motes, stacks, services = self._started_pair()
+        services[0].stop()
+        assert services[0]._on_radio_power not in stacks[0].radio.power_listeners
+        # Restart while the radio is down: must resume on the next power-up.
+        stacks[0].radio.enabled = False
+        services[0].start()
+        assert services[0].suspended
+        sim.run(duration=seconds(60))
+        assert services[0].beacons_sent == 0
+        stacks[0].radio.enabled = True
+        sim.run(duration=seconds(10))
+        assert services[0].beacons_sent > 0
+
+    def test_acquaintance_timeouts_stay_consistent_across_sleep(self):
+        sim, motes, stacks, services = self._started_pair()
+        sim.run(duration=seconds(8))
+        assert 2 in services[0].acquaintances  # discovered while both up
+        # Peer dies for good; we sleep through several timeout windows.
+        stacks[1].radio.enabled = False
+        stacks[0].radio.enabled = False
+        sim.run(duration=seconds(120))
+        stacks[0].radio.enabled = True
+        # Timeouts are absolute sim time: the first post-wake beat evicts
+        # the long-silent peer instead of granting it a fresh grace period.
+        sim.run(duration=3 * services[0].period)
+        assert 2 not in services[0].acquaintances
+
+
 class TestGeoRouting:
     def _grid(self, width=3, seed=0):
         """A 1-row corridor of `width` motes with primed acquaintances."""

@@ -1,9 +1,12 @@
 """Unit tests for the discrete-event kernel."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.sim import Simulator, ms, seconds, to_ms, to_seconds, us
+from repro.tinyos.timer import Timer
 
 
 class TestUnits:
@@ -160,6 +163,281 @@ class TestRunLimits:
         assert sim.pending_events == 0
         sim.run_until_idle()
         assert sim.pending_events == 0
+
+
+class TestMaxEventsClock:
+    """Regression: a run cut short by max_events must not jump the clock to
+    the deadline while earlier events are still queued (the clock would then
+    move backwards on the next step)."""
+
+    def test_max_events_leaves_clock_at_last_fired_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "a")
+        sim.schedule(20, fired.append, "b")
+        sim.run(duration=1000, max_events=1)
+        assert fired == ["a"]
+        assert sim.now == 10  # NOT 1000: the queue was not drained
+        sim.step()
+        assert sim.now == 20  # monotonic, no backwards jump
+        sim.run(duration=980)
+        assert sim.now == 1000  # drained: now the deadline is honoured
+
+    def test_drained_run_still_advances_to_deadline(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run(duration=1000, max_events=50)
+        assert sim.now == 1000  # queue drained well before max_events
+
+    def test_stop_still_leaves_clock_at_current_event(self):
+        sim = Simulator()
+        sim.schedule(10, sim.stop)
+        sim.schedule(500, lambda: None)
+        sim.run(duration=1000)
+        assert sim.now == 10
+
+    def test_raising_callback_does_not_jump_clock_over_queued_events(self):
+        sim = Simulator()
+        fired = []
+
+        def boom():
+            raise RuntimeError("agent crashed")
+
+        sim.schedule(10, boom)
+        sim.schedule(20, fired.append, "later")
+        with pytest.raises(RuntimeError):
+            sim.run(duration=1000)
+        assert sim.now == 10  # not fast-forwarded past the t=20 event
+        sim.step()
+        assert sim.now == 20 and fired == ["later"]  # monotonic recovery
+
+
+class TestQueueHygiene:
+    def test_stats_shape(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        handle = sim.schedule(20, lambda: None)
+        handle.cancel()
+        stats = sim.stats()
+        assert stats["queued"] == 2
+        assert stats["live"] == 1
+        assert stats["dead"] == 1
+        assert stats["compactions"] == 0
+        assert stats["events_fired"] == 0
+        sim.run_until_idle()
+        stats = sim.stats()
+        assert stats["queued"] == 0
+        assert stats["dead"] == 0
+        assert stats["events_fired"] == 1
+
+    def test_compaction_purges_dead_majority(self):
+        sim = Simulator()
+        handles = [sim.schedule(1000 + i, lambda: None) for i in range(100)]
+        for handle in handles[:60]:
+            handle.cancel()
+        stats = sim.stats()
+        assert stats["compactions"] >= 1
+        assert stats["dead"] < stats["queued"]  # the heap was scrubbed
+        assert stats["live"] == 40
+        sim.run_until_idle()
+        assert sim.events_fired == 40  # survivors all fired exactly once
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        sim.COMPACT_MIN_QUEUE = 4  # force compaction at toy sizes
+        order = []
+        handles = [
+            sim.schedule(100 - i, order.append, 100 - i) for i in range(20)
+        ]
+        for index, handle in enumerate(handles):
+            if index % 3:  # cancel two thirds: a clear dead majority
+                handle.cancel()
+        sim.run_until_idle()
+        assert order == sorted(order)
+        assert sim.compactions >= 1
+        assert len(order) == 7
+
+    def test_recurring_event_reuses_one_handle(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1_000, lambda: ticks.append(sim.now))
+        sim.run(duration=5_500)
+        assert ticks == [1_000, 2_000, 3_000, 4_000, 5_000]
+        assert sim.handle_reuses == len(ticks)
+
+    def test_periodic_timer_reuses_one_handle(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.start_periodic(100)
+        sim.run(duration=1_050)
+        assert timer.fired_count == 10
+        assert sim.handle_reuses == 10
+
+    def test_reschedule_rejects_unfired_or_cancelled_handles(self):
+        sim = Simulator()
+        pending = sim.schedule(10, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.reschedule(pending, 5)  # still queued
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.reschedule(pending, -1)  # negative delay
+        pending.cancel()
+        with pytest.raises(SimulationError):
+            sim.reschedule(pending, 5)  # cancelled after firing
+
+
+# ----------------------------------------------------------------------
+# Property: the optimized kernel fires in exactly the order a naive one does
+# ----------------------------------------------------------------------
+class NaiveSimulator:
+    """The obvious reference implementation: a plain list scanned for the
+    (time, seq) minimum, no handle reuse, no compaction."""
+
+    def __init__(self):
+        self.now = 0
+        self._seq = 0
+        self._events = []  # [time, seq, fn, cancelled]
+
+    def schedule(self, delay, fn):
+        entry = [self.now + int(delay), self._seq, fn, False]
+        self._seq += 1
+        self._events.append(entry)
+        return entry
+
+    def run(self, duration):
+        deadline = self.now + int(duration)
+        while True:
+            live = [entry for entry in self._events if not entry[3]]
+            if not live:
+                break
+            entry = min(live, key=lambda e: (e[0], e[1]))
+            if entry[0] > deadline:
+                break
+            self._events.remove(entry)
+            self.now = entry[0]
+            entry[2]()
+        self.now = deadline
+
+
+class NaiveTimer:
+    """Mirrors :class:`repro.tinyos.timer.Timer` semantics with no reuse."""
+
+    def __init__(self, sim, callback):
+        self.sim = sim
+        self.callback = callback
+        self._pending = None
+        self._period = None
+        self._remaining = None
+
+    def start_one_shot(self, delay):
+        self.stop()
+        self._period = None
+        self._pending = self.sim.schedule(delay, self._fire)
+
+    def start_periodic(self, period):
+        self.stop()
+        self._period = int(period)
+        self._pending = self.sim.schedule(period, self._fire)
+
+    def stop(self):
+        self._remaining = None
+        if self._pending is not None:
+            self._pending[3] = True
+            self._pending = None
+
+    def pause(self):
+        if self._pending is None or self._pending[3]:
+            return
+        self._remaining = max(0, self._pending[0] - self.sim.now)
+        self._pending[3] = True
+        self._pending = None
+
+    def resume(self):
+        if self._remaining is None:
+            return
+        delay = self._remaining
+        self._remaining = None
+        self._pending = self.sim.schedule(delay, self._fire)
+
+    def _fire(self):
+        self._pending = None
+        if self._period is not None:
+            self._pending = self.sim.schedule(self._period, self._fire)
+        self.callback()
+
+
+kernel_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.integers(min_value=0, max_value=400)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=30)),
+        st.tuples(st.just("periodic"), st.integers(min_value=40, max_value=300)),
+        st.tuples(st.just("stop"), st.integers(min_value=0, max_value=10)),
+        st.tuples(
+            st.just("restart"),
+            st.integers(min_value=0, max_value=10),
+            st.integers(min_value=0, max_value=400),
+        ),
+        st.tuples(st.just("pause"), st.integers(min_value=0, max_value=10)),
+        st.tuples(st.just("resume"), st.integers(min_value=0, max_value=10)),
+        st.tuples(st.just("advance"), st.integers(min_value=0, max_value=500)),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestOptimizedKernelEqualsNaive:
+    @given(kernel_ops)
+    @settings(max_examples=120, deadline=None)
+    def test_firing_order_matches_reference(self, operations):
+        sim = Simulator()
+        sim.COMPACT_MIN_QUEUE = 4  # make compaction part of every example
+        naive = NaiveSimulator()
+        logs = ([], [])
+        handles: list = [[], []]  # plain scheduled events per side
+        timers: list = [[], []]  # Timer / NaiveTimer per side
+        sides = (
+            (sim, logs[0], handles[0], timers[0], Timer),
+            (naive, logs[1], handles[1], timers[1], NaiveTimer),
+        )
+
+        def recorder(kernel, side_log, label):
+            return lambda: side_log.append((kernel.now, label))
+
+        for op in operations:
+            for kernel, log, scheduled, side_timers, timer_cls in sides:
+                if op[0] == "schedule":
+                    label = f"s{len(scheduled)}"
+                    scheduled.append(
+                        kernel.schedule(op[1], recorder(kernel, log, label))
+                    )
+                elif op[0] == "cancel" and scheduled:
+                    target = scheduled[op[1] % len(scheduled)]
+                    if isinstance(target, list):
+                        target[3] = True  # naive cancel
+                    else:
+                        target.cancel()
+                elif op[0] == "periodic":
+                    label = f"t{len(side_timers)}"
+                    timer = timer_cls(kernel, recorder(kernel, log, label))
+                    timer.start_periodic(op[1])
+                    side_timers.append(timer)
+                elif op[0] == "stop" and side_timers:
+                    side_timers[op[1] % len(side_timers)].stop()
+                elif op[0] == "restart" and side_timers:
+                    side_timers[op[1] % len(side_timers)].start_one_shot(op[2])
+                elif op[0] == "pause" and side_timers:
+                    side_timers[op[1] % len(side_timers)].pause()
+                elif op[0] == "resume" and side_timers:
+                    side_timers[op[1] % len(side_timers)].resume()
+                elif op[0] == "advance":
+                    kernel.run(op[1])
+
+        for kernel, *_ in sides:
+            kernel.run(2_000)
+
+        assert logs[0] == logs[1]
+        assert sim.now == naive.now
 
 
 class TestRandomStreams:

@@ -138,3 +138,76 @@ class TestTimer:
         timer.start_periodic(10)
         sim.run(duration=55)
         assert timer.fired_count == 5
+
+
+class TestTimerPauseResume:
+    def test_pause_preserves_remaining_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_one_shot(100)
+        sim.run(duration=40)  # 60 us of the countdown left
+        timer.pause()
+        assert timer.paused and not timer.running
+        sim.run(duration=500)  # frozen: nothing fires while paused
+        assert fired == []
+        timer.resume()
+        assert timer.running and not timer.paused
+        sim.run_until_idle()
+        assert fired == [540 + 60]  # resumed with the 60 us remainder intact
+
+    def test_pause_resume_periodic_continues_the_cadence(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_periodic(100)
+        sim.run(duration=250)  # fired at 100, 200; next due 300
+        timer.pause()
+        sim.run(duration=1_000)
+        timer.resume()  # 50 us left of the interrupted interval
+        sim.run(duration=460)
+        assert fired == [100, 200, 1_300, 1_400, 1_500, 1_600, 1_700]
+
+    def test_pause_without_pending_is_a_noop(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.pause()
+        assert not timer.paused
+        timer.resume()
+        assert not timer.running
+
+    def test_double_pause_and_resume_are_idempotent(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_one_shot(100)
+        timer.pause()
+        timer.pause()
+        timer.resume()
+        timer.resume()
+        sim.run_until_idle()
+        assert fired == [100]
+        assert sim.pending_events == 0
+
+    def test_stop_discards_a_paused_countdown(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start_one_shot(100)
+        timer.pause()
+        timer.stop()
+        timer.resume()  # nothing to resume: stop cleared the remainder
+        sim.run_until_idle()
+        assert fired == []
+        assert not timer.running
+
+    def test_restart_after_pause_supersedes_the_remainder(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_one_shot(100)
+        timer.pause()
+        timer.start_one_shot(30)  # explicit restart wins over the pause
+        sim.run_until_idle()
+        assert fired == [30]
+        assert not timer.paused
