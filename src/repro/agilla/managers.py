@@ -16,9 +16,27 @@ from typing import Any
 
 from repro.agilla import params as P
 from repro.agilla.agent import Agent, AgentState
-from repro.agilla.fields import AgentIdField, StringField
-from repro.agilla.reactions import Reaction, ReactionRegistry
+from repro.agilla.fields import AgentIdField, LocationField, StringField
+from repro.agilla.reactions import (
+    NEIGHBOR_FOUND_TAG,
+    NEIGHBOR_LOST_TAG,
+    NEIGHBOR_TAG,
+    WAKEUP_TAG,
+    Reaction,
+    ReactionRegistry,
+    neighbor_found_template,
+    neighbor_lost_template,
+    wakeup_template,
+)
 from repro.agilla.tuples import AgillaTuple, make_template, make_tuple
+from repro.net.acquaintance import (
+    NEIGHBOR_DISPLACED,
+    NEIGHBOR_FOUND,
+    NEIGHBOR_LOST,
+    NEIGHBOR_MOVED,
+    Acquaintance,
+)
+from repro.net.addresses import Location
 from repro.agilla.tuplespace import TupleSpace
 from repro.agilla.vm_ops import ts_work_cycles
 from repro.errors import (
@@ -209,6 +227,24 @@ class ContextManager:
 
     def __init__(self, middleware: Any):
         self.middleware = middleware
+        self._watching = False
+        #: Ids pushed out of the acquaintance table by capacity pressure,
+        #: mapped to the sim time of the displacement.  Prompt re-admission
+        #: is table thrash, not discovery — the matching ``<'nbf'>`` event
+        #: is suppressed so dense fields (audible degree above capacity) do
+        #: not storm reactions with phantom finds.  The marker expires after
+        #: the staleness horizon: a displaced node that then genuinely
+        #: departs and returns much later *is* a recovery and must fire.
+        self._displaced_ids: dict[int, int] = {}
+        #: Mirror addresses whose last sync lost tuples to a full arena;
+        #: retried on the next event so the mirror re-converges once the
+        #: arena drains.
+        self._dirty_mirrors: set[Location] = set()
+        # Statistics.
+        self.neighbor_events = 0
+        self.wake_events = 0
+        self.find_events = 0
+        self.refind_suppressions = 0
 
     @property
     def location(self):
@@ -227,6 +263,118 @@ class ContextManager:
                 self.middleware.tuplespace_manager.insert(
                     make_tuple(StringField(tag))
                 )
+
+    # ------------------------------------------------------------------
+    # Adaptive neighborhoods: churn surfaced as tuples (reactions fire)
+    # ------------------------------------------------------------------
+    def watch_neighborhood(self) -> None:
+        """Mirror acquaintance churn and radio wake-ups into the tuple space.
+
+        Installed at boot by adaptive deployments (after priming, so the
+        warm-start neighbor set raises no events).  The mirror keeps one
+        ``<'nbr', location>`` tuple per live neighbor; a membership change
+        additionally (re)inserts the matching one-shot event tuple —
+        ``<'nbf', location>`` on discovery/recovery, ``<'nbl', location>``
+        on beacon loss, ``<'wup'>`` on the node's own radio powering up —
+        which is what agent reactions actually vector on.  Only the latest
+        event tuple of each kind is retained, so the arena footprint stays
+        bounded no matter how long the deployment churns.
+        """
+        if self._watching:
+            return
+        self._watching = True
+        acquaintances = self.middleware.acquaintances
+        acquaintances.listeners.append(self._on_neighbor_event)
+        self.middleware.stack.radio.power_listeners.append(self._on_radio_power)
+        for entry in acquaintances.neighbors():
+            if not self._insert(self._neighbor_tuple(NEIGHBOR_TAG, entry.location)):
+                self._dirty_mirrors.add(entry.location)  # retried on next event
+
+    @property
+    def watching(self) -> bool:
+        return self._watching
+
+    def _neighbor_tuple(self, tag: str, location: Location) -> AgillaTuple:
+        return make_tuple(StringField(tag), LocationField(location))
+
+    def _insert(self, tup: AgillaTuple) -> bool:
+        """Best-effort context insert: a full arena drops the tuple (exactly
+        as the paper's fixed-RAM middleware would have to).  Returns whether
+        it landed, so mirror syncs can schedule a retry."""
+        inserted, _ = self.middleware.tuplespace_manager.insert(tup)
+        return inserted
+
+    def _replace(self, template: AgillaTuple, tup: AgillaTuple) -> None:
+        self.middleware.tuplespace_manager.space.remove_all(template)
+        self._insert(tup)
+
+    def _sync_mirror_at(self, location: Location) -> None:
+        """Rebuild the ``<'nbr', location>`` tuples for one address from the
+        live list.  Locations are not identities — two mobile neighbors can
+        quantize to the same grid address — so removal is never keyed on a
+        single entry: the mirror at an address is exactly one tuple per live
+        acquaintance currently there.  If the arena is too full to hold the
+        rebuilt mirror, the address is marked dirty and re-synced on the
+        next event, so a transient arena spike cannot permanently desync
+        the mirror from the live list."""
+        space = self.middleware.tuplespace_manager.space
+        space.remove_all(self._neighbor_tuple(NEIGHBOR_TAG, location))
+        complete = True
+        for entry in self.middleware.acquaintances.neighbors():
+            if entry.location == location:
+                complete &= self._insert(self._neighbor_tuple(NEIGHBOR_TAG, location))
+        if complete:
+            self._dirty_mirrors.discard(location)
+        else:
+            self._dirty_mirrors.add(location)
+
+    def _retry_dirty_mirrors(self) -> None:
+        for location in list(self._dirty_mirrors):
+            self._sync_mirror_at(location)
+
+    def _on_neighbor_event(
+        self, event: str, entry: Acquaintance, previous: Location | None
+    ) -> None:
+        self.neighbor_events += 1
+        self._retry_dirty_mirrors()
+        if event == NEIGHBOR_FOUND:
+            self._sync_mirror_at(entry.location)
+            displaced_at = self._displaced_ids.pop(entry.mote_id, None)
+            now = self.middleware.mote.sim.now
+            horizon = self.middleware.acquaintances.timeout
+            if displaced_at is not None and now - displaced_at <= horizon:
+                # Table thrash: this neighbor was never gone, only squeezed
+                # out moments ago.  Re-admission is not discovery/recovery.
+                self.refind_suppressions += 1
+            else:
+                # Either a first discovery, or a displaced node that stayed
+                # silent past the staleness horizon — that is a recovery.
+                self.find_events += 1
+                self._replace(
+                    neighbor_found_template(),
+                    self._neighbor_tuple(NEIGHBOR_FOUND_TAG, entry.location),
+                )
+        elif event == NEIGHBOR_LOST:
+            self._displaced_ids.pop(entry.mote_id, None)
+            self._sync_mirror_at(entry.location)
+            self._replace(
+                neighbor_lost_template(),
+                self._neighbor_tuple(NEIGHBOR_LOST_TAG, entry.location),
+            )
+        elif event == NEIGHBOR_DISPLACED:
+            # Capacity pressure, not beacon loss: the neighbor is alive and
+            # its next beacon re-adds it — update the mirror, raise no event.
+            self._displaced_ids[entry.mote_id] = self.middleware.mote.sim.now
+            self._sync_mirror_at(entry.location)
+        elif event == NEIGHBOR_MOVED and previous is not None:
+            self._sync_mirror_at(previous)
+            self._sync_mirror_at(entry.location)
+
+    def _on_radio_power(self, up: bool) -> None:
+        if up:
+            self.wake_events += 1
+            self._retry_dirty_mirrors()
+            self._replace(wakeup_template(), make_tuple(StringField(WAKEUP_TAG)))
 
     # ------------------------------------------------------------------
     def agent_added(self, agent: Agent) -> None:

@@ -40,12 +40,16 @@ class AgillaMiddleware:
         beacons: BeaconService,
         geo: GeoMessaging,
         params: AgillaParams | None = None,
+        adaptive: bool = False,
     ):
         self.mote = mote
         self.stack = stack
         self.beacons = beacons
         self.geo = geo
         self.params = params if params is not None else DEFAULT_PARAMS
+        #: Adaptive deployments surface neighborhood churn as context tuples
+        #: (and therefore reactions) — see ContextManager.watch_neighborhood.
+        self.adaptive = adaptive
         self.rng = mote.sim.rng(f"agilla/{mote.id}")
 
         mote.memory.allocate("TinyOS", "globals + stacks", TINYOS_BASE_RAM)
@@ -86,6 +90,10 @@ class AgillaMiddleware:
             return
         self._booted = True
         self.context_manager.boot()
+        if self.adaptive:
+            # Subscribed at boot — after the deployment primed the list — so
+            # the warm-start neighbors raise no churn events.
+            self.context_manager.watch_neighborhood()
 
     def inject(self, program: Program, make_ready: bool = True) -> Agent:
         """Install an agent locally (the base station's injection path)."""

@@ -5,6 +5,14 @@ Paper §2.2/§3.2: an agent registers (template, handler address) pairs with
 tuple space, the agent's program counter is redirected to the handler.  The
 registry has a 400-byte budget (about 10 reactions), reactions are strictly
 local, and they travel with the agent on migration.
+
+This module also defines the *neighborhood event* vocabulary: in an adaptive
+deployment the context manager mirrors acquaintance-list churn and radio
+power-ups into the local tuple space (see
+:meth:`~repro.agilla.managers.ContextManager.watch_neighborhood`), so an
+agent can ``regrxn`` on a neighbor appearing, a neighbor going silent, or
+its own node waking — the paper's adaptivity pitch expressed in the same
+tuple/reaction machinery every other coordination uses.
 """
 
 from __future__ import annotations
@@ -12,9 +20,41 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ReactionRegistryFullError
-from repro.agilla.tuples import AgillaTuple
+from repro.agilla.fields import FieldType, StringField, TypeWildcard
+from repro.agilla.tuples import AgillaTuple, make_template
 
 DEFAULT_REGISTRY_BYTES = 400
+
+# ----------------------------------------------------------------------
+# Neighborhood events (adaptive deployments)
+# ----------------------------------------------------------------------
+#: Steady-state mirror: one ``<'nbr', location>`` tuple per live neighbor.
+NEIGHBOR_TAG = "nbr"
+#: One-shot event: a neighbor appeared (discovery, recovery, wander-in).
+NEIGHBOR_FOUND_TAG = "nbf"
+#: One-shot event: a neighbor went silent (beacon loss — failure, departure,
+#: or wander-out; the receiver cannot tell, exactly like real beacon loss).
+NEIGHBOR_LOST_TAG = "nbl"
+#: One-shot event: this node's own radio powered back up.
+WAKEUP_TAG = "wup"
+
+
+def neighbor_template(tag: str = NEIGHBOR_TAG) -> AgillaTuple:
+    """``<tag, any-location>`` — what an agent registers a reaction on."""
+    return make_template(StringField(tag), TypeWildcard(FieldType.LOCATION))
+
+
+def neighbor_found_template() -> AgillaTuple:
+    return neighbor_template(NEIGHBOR_FOUND_TAG)
+
+
+def neighbor_lost_template() -> AgillaTuple:
+    return neighbor_template(NEIGHBOR_LOST_TAG)
+
+
+def wakeup_template() -> AgillaTuple:
+    """``<'wup'>`` — fires when the hosting node's radio comes back up."""
+    return make_template(StringField(WAKEUP_TAG))
 
 #: Registry entry overhead besides the template: agent id (2) + handler
 #: address (2) + flags (1).

@@ -7,6 +7,7 @@ from repro.apps.fire import (
 )
 from repro.apps.habitat import habitat_monitor
 from repro.apps.regions import Region, any_in_region, clone_region
+from repro.apps.steward import MONITOR_TAG, steward
 from repro.apps.testers import blink_agent, rout_agent, smove_agent
 from repro.apps.tracker import chaser, sampler
 
@@ -23,4 +24,6 @@ __all__ = [
     "smove_agent",
     "chaser",
     "sampler",
+    "steward",
+    "MONITOR_TAG",
 ]

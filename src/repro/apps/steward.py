@@ -1,0 +1,62 @@
+"""The steward: an agent that re-deploys monitors onto recovered nodes.
+
+The paper's pitch is applications that *adapt* to the network changing under
+them (§1, §2.2).  In an adaptive deployment the context manager surfaces
+neighborhood churn as tuples — ``<'nbf', location>`` when a neighbor appears
+(discovery, recovery, or wandering back into range), ``<'nbl', location>``
+when one goes silent — so adaptivity needs no new machinery: the steward
+simply registers a reaction on ``<'nbf', _>`` and parks in ``wait``.
+
+When the reaction fires it strong-clones itself onto the (re)appeared node
+(strong, so the clone arrives with its heap and knows why it came).  The
+clone marks its arrival with a ``<'mon'>`` tuple — "this node is monitored
+again" — and then becomes a steward for *its* neighborhood, so coverage
+re-knits outward from wherever the network healed.  The parent returns to
+waiting.  This is the re-deploy-monitors-after-recovery loop the paper
+describes, in a dozen reaction-driven instructions.
+"""
+
+from __future__ import annotations
+
+from repro.agilla.assembler import Program, assemble
+
+#: Tuple tag the steward's clone publishes on arrival.
+MONITOR_TAG = "mon"
+
+
+def steward() -> Program:
+    """Build the steward agent.
+
+    Heap layout: 0 = the location the last ``<'nbf', _>`` event named.
+    Reaction-handler stack discipline: the engine pushes the return PC, the
+    matched tuple's fields, then its arity — the handler pops them in
+    reverse.
+    """
+    source = """
+        pushn nbf
+        pusht LOCATION
+        pushc 2
+        pushc FOUND
+        regrxn              // react to any neighbor (re)appearing
+        IDLE wait           // park; reactions do all the work
+        pushc IDLE
+        jump
+        FOUND pop           // arity (2)
+        setvar 0            // the recovered neighbor's location
+        pop                 // 'nbf' tag
+        pop                 // return pc (we loop to IDLE explicitly)
+        getvar 0
+        sclone              // re-deploy onto the recovered node (with state)
+        loc
+        getvar 0
+        ceq                 // clone wakes up over there; parent stays here
+        rjumpc SETTLE
+        pushc IDLE
+        jump
+        SETTLE pushn mon
+        pushc 1
+        out                 // "monitored again" marker for the base station
+        pushc IDLE
+        jump                // the clone stewards its own neighborhood now
+    """
+    return assemble(source, name="stw")

@@ -57,6 +57,7 @@ def run_scenarios(
             "recoveries",
             "rebuilds",
             "coverage",
+            "delivery",
             "peak KB",
         ],
     )
@@ -75,11 +76,17 @@ def run_scenarios(
             result["recoveries"],
             result["index_rebuilds"],
             result.get("coverage", "-"),
+            result.get("delivery_ratio", "-"),
             result["peak_rss_kb"],
         )
     table.add_note(
         "rebuilds = full hearer-index invalidations during the run; 0 means every "
         "move/failure was absorbed incrementally (O(degree) per event)"
+    )
+    table.add_note(
+        "delivery = courier delivery ratio (geo-routed end-to-end); compare the "
+        "partition-heal row (adaptive neighborhoods) against partition-heal-frozen "
+        "(deploy-time snapshot) for the mobility ablation"
     )
     table.add_note(
         "builtins: " + ", ".join(sorted(BUILTIN_SCENARIOS))

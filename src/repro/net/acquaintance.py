@@ -4,14 +4,36 @@ Paper §2.2: "Agilla provides one-hop neighbor discovery using beacons.  The
 one-hop neighbor information is stored in an acquaintance list and is
 continuously updated."  Agents read it through the ``numnbrs``, ``getnbr``
 and ``randnbr`` instructions (§3.2, context manager).
+
+The list is *live*: entries age out once their owner stops beaconing (the
+timeout is ``k`` beacon intervals — see :class:`~repro.net.beacons
+.BeaconService`), any overheard traffic refreshes a known sender's freshness
+(:meth:`refresh`), and interested parties — the context manager surfacing
+neighbor churn to agents, the live receive filter — subscribe to membership
+changes through :attr:`listeners` instead of polling.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.net.addresses import Location
+
+#: Listener events: a neighbor appeared, went silent, changed position, or
+#: was pushed out by capacity pressure.  ``displaced`` is deliberately a
+#: separate kind from ``lost``: a displaced neighbor is still alive and
+#: audible (its next beacon re-adds it), so treating it as beacon loss
+#: would fire phantom churn reactions in dense deployments.
+NEIGHBOR_FOUND = "found"
+NEIGHBOR_LOST = "lost"
+NEIGHBOR_MOVED = "moved"
+NEIGHBOR_DISPLACED = "displaced"
+
+#: ``listener(event, entry, previous_location)`` — ``previous_location`` is
+#: the pre-update position for ``moved`` events and ``None`` otherwise.
+NeighborListener = Callable[[str, "Acquaintance", Location | None], None]
 
 
 @dataclass
@@ -31,28 +53,70 @@ class AcquaintanceList:
         self.capacity = capacity
         self.timeout = timeout
         self._entries: dict[int, Acquaintance] = {}
+        #: Membership-change subscribers; empty by default, so a list nobody
+        #: watches behaves exactly as it always has.
+        self.listeners: list[NeighborListener] = []
+        # Statistics (the golden tests pin expirations == 0 on static runs;
+        # displacements make capacity thrash visible in dense fields).
+        self.expirations = 0
+        self.refreshes = 0
+        self.displacements = 0
+
+    # ------------------------------------------------------------------
+    def _notify(
+        self, event: str, entry: Acquaintance, previous: Location | None = None
+    ) -> None:
+        for listener in list(self.listeners):
+            listener(event, entry, previous)
 
     # ------------------------------------------------------------------
     def update(self, mote_id: int, location: Location, now: int) -> None:
         """Record a beacon.  A full table evicts its stalest entry."""
         entry = self._entries.get(mote_id)
         if entry is not None:
+            previous = entry.location
             entry.location = location
             entry.last_heard = now
+            if location != previous and self.listeners:
+                self._notify(NEIGHBOR_MOVED, entry, previous)
             return
         if len(self._entries) >= self.capacity:
             stalest = min(self._entries.values(), key=lambda e: e.last_heard)
             if stalest.last_heard >= now:  # nothing older; drop the beacon
                 return
             del self._entries[stalest.mote_id]
-        self._entries[mote_id] = Acquaintance(mote_id, location, now)
+            self.displacements += 1
+            if self.listeners:
+                self._notify(NEIGHBOR_DISPLACED, stalest)
+        added = Acquaintance(mote_id, location, now)
+        self._entries[mote_id] = added
+        if self.listeners:
+            self._notify(NEIGHBOR_FOUND, added)
+
+    def refresh(self, mote_id: int, now: int) -> bool:
+        """Freshness-only update from *any* overheard traffic.
+
+        A data frame proves its sender is alive and in range just as well as
+        a beacon does — it merely says nothing about position.  Unknown
+        senders are ignored (position-less entries would poison routing).
+        """
+        entry = self._entries.get(mote_id)
+        if entry is None:
+            return False
+        if now > entry.last_heard:
+            entry.last_heard = now
+            self.refreshes += 1
+        return True
 
     def evict_stale(self, now: int) -> None:
         """Drop neighbors not heard within the timeout."""
         horizon = now - self.timeout
         stale = [mid for mid, e in self._entries.items() if e.last_heard < horizon]
         for mote_id in stale:
-            del self._entries[mote_id]
+            entry = self._entries.pop(mote_id)
+            self.expirations += 1
+            if self.listeners:
+                self._notify(NEIGHBOR_LOST, entry)
 
     # ------------------------------------------------------------------
     def neighbors(self) -> list[Acquaintance]:

@@ -3,6 +3,24 @@
 Every node periodically broadcasts its location; receivers record the sender
 in their acquaintance list.  Periods are jittered per node so beacons do not
 synchronize and collide forever.
+
+A beacon carries two facts: the sender's *position* (explicit, in the
+payload) and its *freshness* (implicit — the arrival itself proves the
+sender was alive and in range when the frame left its antenna).  The
+acquaintance list therefore ages entries by beacon intervals: a neighbor
+silent for ``expiry_intervals`` (= ``k``) periods is evicted on the next
+beat.  Two optional behaviors complete the adaptive neighborhood story:
+
+* ``announce_on_wake`` — transmit one beacon immediately whenever the radio
+  powers up (crash recovery, end of a duty-cycle sleep), so peers re-learn a
+  recovered node's *current* position within one CSMA backoff instead of a
+  full beacon period;
+* ``snoop`` — observe every frame the radio hears (including traffic
+  addressed to other motes) and refresh the sender's freshness, so a busy
+  neighbor is never evicted just because its beacons lost a few coin flips.
+
+Both default to off: a plain :class:`BeaconService` behaves exactly like the
+original fixed-three-interval version, which the static-run goldens pin.
 """
 
 from __future__ import annotations
@@ -17,6 +35,9 @@ from repro.sim.units import seconds
 
 DEFAULT_PERIOD = seconds(2.0)
 
+#: Missed beacon intervals a neighbor survives before eviction.
+DEFAULT_EXPIRY_INTERVALS = 3
+
 
 class BeaconService:
     """Periodic location beacons feeding the acquaintance list."""
@@ -27,19 +48,32 @@ class BeaconService:
         stack: NetworkStack,
         acquaintances: AcquaintanceList | None = None,
         period: int = DEFAULT_PERIOD,
+        expiry_intervals: int = DEFAULT_EXPIRY_INTERVALS,
+        announce_on_wake: bool = False,
+        snoop: bool = False,
     ):
+        if expiry_intervals < 1:
+            raise ValueError(f"expiry_intervals must be >= 1: {expiry_intervals}")
         self.mote = mote
         self.stack = stack
         self.period = period
-        # Neighbors survive three missed beacons before eviction.
-        self.acquaintances = (
-            acquaintances
-            if acquaintances is not None
-            else AcquaintanceList(timeout=3 * period)
-        )
+        self.expiry_intervals = expiry_intervals
+        self.announce_on_wake = announce_on_wake
+        # Neighbors survive ``k`` missed beacons before eviction.  The
+        # timeout is derived from the knob even for an externally supplied
+        # list — ``expiry_intervals`` is the single source of truth, so it
+        # can never silently no-op (callers wanting a different horizon set
+        # the knob, not the list's raw timeout).
+        if acquaintances is None:
+            acquaintances = AcquaintanceList(timeout=expiry_intervals * period)
+        else:
+            acquaintances.timeout = expiry_intervals * period
+        self.acquaintances = acquaintances
         self._rng = mote.sim.rng(f"beacon/{mote.id}")
         self._timer = mote.new_timer(self._beat)
         stack.register_handler(am.AM_BEACON, self._on_beacon)
+        if snoop:
+            stack.add_observer(self._on_overheard)
         # Lazy beaconing: while the radio is down (duty-cycle sleep, crash)
         # the beat timer is *suspended* — no kernel events at all — and on
         # power-up it resumes with the remaining jittered delay preserved.
@@ -78,9 +112,21 @@ class BeaconService:
         """True while the beat timer is frozen because the radio is down."""
         return self._timer.paused
 
+    def announce(self) -> None:
+        """Transmit one out-of-schedule beacon right now (radio permitting).
+
+        The periodic beat is untouched; this is the re-announcement a
+        recovered or freshly woken node makes so its peers' stale entries
+        update without waiting out the jittered period.
+        """
+        if self.stack.radio.enabled:
+            self._transmit()
+
     def _on_radio_power(self, up: bool) -> None:
         if up:
             self._timer.resume()
+            if self.announce_on_wake:
+                self.announce()
         else:
             self._timer.pause()
 
@@ -102,6 +148,12 @@ class BeaconService:
     def _on_beacon(self, frame: Frame) -> None:
         location = unpack_location(frame.payload)
         self.acquaintances.update(frame.src, location, self.mote.sim.now)
+
+    def _on_overheard(self, frame: Frame) -> None:
+        # Beacons carry a position and go through _on_beacon; anything else
+        # only proves the sender is alive — refresh, never add.
+        if frame.am_type != am.AM_BEACON and frame.src != self.mote.id:
+            self.acquaintances.refresh(frame.src, self.mote.sim.now)
 
     # ------------------------------------------------------------------
     def prime(self, neighbors: list[tuple[int, "object"]]) -> None:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.net import am
+from repro.net.acquaintance import AcquaintanceList
 from repro.net.addresses import Location
 from repro.radio.frame import Frame
 
@@ -32,6 +34,46 @@ class NeighborSetFilter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<NeighborSetFilter accepts={sorted(self.accepted)}>"
+
+
+class LiveNeighborFilter:
+    """Accept frames from the *current* radio neighborhood, not a snapshot.
+
+    The adaptive replacement for :class:`NeighborSetFilter`: instead of a
+    frozen accepted-sender set derived from the deploy-time topology, the
+    per-frame check consults the live acquaintance list, so the synthesized
+    multi-hop structure follows the real neighborhood as nodes move, fail,
+    recover, and wander back into range.
+
+    Discovery must be able to bootstrap the list, so frames whose AM type is
+    in ``discovery_types`` (beacons, by default) always pass — the channel
+    already guarantees they came from a physically audible radio.
+    ``always_accept`` pins senders that must work regardless of beacon state
+    (the base-station bridge).
+    """
+
+    def __init__(
+        self,
+        acquaintances: AcquaintanceList,
+        always_accept: Iterable[int] = (),
+        discovery_types: Iterable[int] = (am.AM_BEACON,),
+    ):
+        self.acquaintances = acquaintances
+        self.always_accept = frozenset(always_accept)
+        self.discovery_types = frozenset(discovery_types)
+
+    def __call__(self, frame: Frame) -> bool:
+        return (
+            frame.am_type in self.discovery_types
+            or frame.src in self.always_accept
+            or frame.src in self.acquaintances
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LiveNeighborFilter live={len(self.acquaintances)} "
+            f"pinned={sorted(self.always_accept)}>"
+        )
 
 
 class GridNeighborFilter:

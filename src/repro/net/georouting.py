@@ -41,17 +41,30 @@ DEFAULT_EPSILON = 0.45
 
 
 class GeoRouter:
-    """Greedy next-hop selection toward a destination location."""
+    """Greedy next-hop selection toward a destination location.
+
+    ``own_location`` may be a frozen :class:`Location` (the deploy-time
+    snapshot — the paper's tabletop, where nobody moves) or, when ``mote``
+    is given, the mote's *live* location: the adaptive deployments update
+    ``mote.location`` as nodes move, so forwarding decisions and the
+    ``is_self`` destination check track reality instead of the build.
+    """
 
     def __init__(
         self,
         own_location: Location,
         acquaintances: AcquaintanceList,
         epsilon: float = DEFAULT_EPSILON,
+        mote: Mote | None = None,
     ):
-        self.own_location = own_location
+        self._own_location = own_location
+        self.mote = mote
         self.acquaintances = acquaintances
         self.epsilon = epsilon
+
+    @property
+    def own_location(self) -> Location:
+        return self.mote.location if self.mote is not None else self._own_location
 
     def is_self(self, dest: Location) -> bool:
         return self.own_location.matches(dest, self.epsilon)

@@ -38,6 +38,7 @@ class NetworkStack:
         radio.set_receive_callback(self._on_frame)
         self._handlers: dict[int, Callable[[Frame], None]] = {}
         self._filters: list[Callable[[Frame], bool]] = []
+        self._observers: list[Callable[[Frame], None]] = []
         self._queue: deque[tuple[Frame, Callable[[bool], None] | None]] = deque()
         self._sending = False
         # RAM the real component would declare statically.
@@ -61,6 +62,17 @@ class NetworkStack:
     def install_filter(self, frame_filter: Callable[[Frame], bool]) -> None:
         """Add a receive filter; returning False drops the frame."""
         self._filters.append(frame_filter)
+
+    def add_observer(self, observer: Callable[[Frame], None]) -> None:
+        """Watch every frame the radio hears, *before* addressing and filters.
+
+        Observers see overheard traffic — frames addressed to other motes and
+        frames the receive filters would drop — because a CSMA radio decodes
+        everything on its channel anyway.  The adaptive neighborhood subsystem
+        uses this to re-prime acquaintance freshness from any received frame.
+        Observers must not mutate the frame.
+        """
+        self._observers.append(observer)
 
     # ------------------------------------------------------------------
     # Sending
@@ -116,6 +128,8 @@ class NetworkStack:
     # Receiving
     # ------------------------------------------------------------------
     def _on_frame(self, frame: Frame) -> None:
+        for observer in self._observers:
+            observer(frame)
         if not frame.is_broadcast and frame.dest != self.mote.id:
             return  # addressed to someone else
         for frame_filter in self._filters:

@@ -28,11 +28,11 @@ from repro.agilla.assembler import Program
 from repro.agilla.middleware import AgillaMiddleware
 from repro.agilla.params import AgillaParams
 from repro.errors import NetworkError
-from repro.location import BASE_STATION_LOCATION, Location
+from repro.location import BASE_STATION_LOCATION, INT16_MAX, INT16_MIN, Location
 from repro.mote.environment import Environment
 from repro.mote.mote import Mote
-from repro.net.beacons import BeaconService
-from repro.net.filters import NeighborSetFilter, bridge_edge
+from repro.net.beacons import DEFAULT_EXPIRY_INTERVALS, BeaconService
+from repro.net.filters import LiveNeighborFilter, NeighborSetFilter, bridge_edge
 from repro.net.georouting import GeoMessaging, GeoRouter
 from repro.net.stack import NetworkStack
 from repro.radio.channel import Channel
@@ -80,8 +80,32 @@ class SensorNetwork:
         beacon_period: int = seconds(10.0),
         physical: bool = False,
         spacing_m: float | None = None,
+        adaptive: bool = False,
+        beacon_expiry_intervals: int = DEFAULT_EXPIRY_INTERVALS,
     ):
         self.topology = topology.validate()
+        #: Adaptive neighborhoods: acquaintance lists track the *live* radio
+        #: neighborhood instead of the deploy-time snapshot.  Concretely —
+        #: receive filters consult the acquaintance list (not a frozen set),
+        #: ``move_node`` updates the mote's believed location (localization),
+        #: a radio powering back up re-announces immediately, any overheard
+        #: frame refreshes its sender's freshness, and the context manager
+        #: surfaces neighbor churn as tuples that agent reactions fire on.
+        #: Off by default: frozen deployments stay bit-for-bit identical to
+        #: the committed goldens.
+        #:
+        #: Note that adaptivity replaces the *synthesized* topology with the
+        #: physical one: on a tabletop deployment (default centimeter
+        #: spacing) every mote genuinely hears every other, so the live view
+        #: is a fully-connected field whose audible degree can exceed the
+        #: acquaintance table's capacity (the table then keeps the 12
+        #: freshest; ``displacements`` counts the pressure, and re-admission
+        #: raises no phantom churn events).  Deployments that want adaptive
+        #: *multi-hop* structure should space nodes so physical reach defines
+        #: it, as the partition-heal scenario does (``spacing_m=60`` under a
+        #: 100 m radio).
+        self.adaptive = adaptive
+        self._beacon_expiry_intervals = beacon_expiry_intervals
         self.sim = Simulator(seed=seed)
         self.params = params if params is not None else AgillaParams()
         self.environment = environment if environment is not None else Environment()
@@ -140,16 +164,44 @@ class SensorNetwork:
         mote = Mote(self.sim, self._mote_id(location), location, self.environment)
         radio = self.channel.attach(mote, self._position(location))
         stack = NetworkStack(mote, radio)
+        beacons = BeaconService(
+            mote,
+            stack,
+            period=self._beacon_period,
+            expiry_intervals=self._beacon_expiry_intervals,
+            announce_on_wake=self.adaptive,
+            snoop=self.adaptive,
+        )
         if not self.physical:
-            stack.install_filter(
-                NeighborSetFilter(mote_id for mote_id, _ in self._neighbor_ids(location))
-            )
-        beacons = BeaconService(mote, stack, period=self._beacon_period)
+            if self.adaptive:
+                # The live filter: accepted senders follow the beaconed
+                # neighborhood; the base-station bridge is pinned so agent
+                # injection works before discovery warms up.
+                pinned = (
+                    self._ids[partner]
+                    for edge in self._extra_edges
+                    if location in edge
+                    for partner in edge - {location}
+                )
+                stack.install_filter(
+                    LiveNeighborFilter(beacons.acquaintances, always_accept=pinned)
+                )
+            else:
+                stack.install_filter(
+                    NeighborSetFilter(
+                        mote_id for mote_id, _ in self._neighbor_ids(location)
+                    )
+                )
         router = GeoRouter(
-            location, beacons.acquaintances, epsilon=self.params.location_epsilon
+            location,
+            beacons.acquaintances,
+            epsilon=self.params.location_epsilon,
+            mote=mote if self.adaptive else None,
         )
         geo = GeoMessaging(mote, stack, router)
-        middleware = AgillaMiddleware(mote, stack, beacons, geo, self.params)
+        middleware = AgillaMiddleware(
+            mote, stack, beacons, geo, self.params, adaptive=self.adaptive
+        )
         self.nodes[location] = Node(mote, stack, beacons, router, geo, middleware)
 
     def _neighbor_ids(self, location: Location) -> list[tuple[int, Location]]:
@@ -253,13 +305,30 @@ class SensorNetwork:
     ) -> None:
         """Move a node's radio to a new physical position (meters).
 
-        The node keeps its logical address (``Location``) — and, in filtered
-        mode, its software neighbor set — but its radio connectivity follows
-        the link model at the new coordinates.  The channel re-keys its hearer
-        index incrementally, so a mobility tick costs O(degree) per mover.
+        The node keeps its *address* (the ``Location`` it is looked up by in
+        :attr:`nodes`) and its radio connectivity follows the link model at
+        the new coordinates.  The channel re-keys its hearer index
+        incrementally, so a mobility tick costs O(degree) per mover.
+
+        In a frozen deployment that is the whole story — the node's believed
+        location, its beacons, and (in filtered mode) its software neighbor
+        set all stay at the deploy-time snapshot.  In an *adaptive*
+        deployment the mote's location tracks the move (localization, §2.2:
+        "each node knows its own physical location"), quantized to the grid
+        the deployment addresses by, so beacons advertise where the node
+        actually is and geo-routing forwards accordingly.
         """
         radio = self._radio(location)
         self.channel.move(radio.mote.id, (float(position[0]), float(position[1])))
+        if self.adaptive:
+            radio.mote.location = self._localize(radio.position)
+
+    def _localize(self, position: tuple[float, float]) -> Location:
+        """Quantize a physical position (meters) to the nearest grid address."""
+        spacing = self.channel.grid_spacing_m
+        x = min(max(round(position[0] / spacing), INT16_MIN), INT16_MAX)
+        y = min(max(round(position[1] / spacing), INT16_MIN), INT16_MAX)
+        return Location(x, y)
 
     def fail_node(self, location: Location | tuple[int, int]) -> None:
         """Take a node's radio down (crash / battery death): it neither
@@ -389,6 +458,8 @@ class GridNetwork(SensorNetwork):
         beacon_period: int = seconds(10.0),
         physical: bool = False,
         physical_spacing_m: float = PHYSICAL_SPACING_M,
+        adaptive: bool = False,
+        beacon_expiry_intervals: int = DEFAULT_EXPIRY_INTERVALS,
     ):
         self.width = width
         self.height = height
@@ -403,6 +474,8 @@ class GridNetwork(SensorNetwork):
             beacon_period=beacon_period,
             physical=physical,
             spacing_m=physical_spacing_m if physical else None,
+            adaptive=adaptive,
+            beacon_expiry_intervals=beacon_expiry_intervals,
         )
 
 

@@ -3,6 +3,7 @@
 from repro.scenarios.library import BUILTIN_SCENARIOS, DEFAULT_SCENARIOS
 from repro.scenarios.spec import Scenario, ScenarioRun
 from repro.scenarios.workloads import (
+    CourierWorkload,
     FloodWorkload,
     HabitatWorkload,
     MixedTenantWorkload,
@@ -17,6 +18,7 @@ __all__ = [
     "Scenario",
     "ScenarioRun",
     "Workload",
+    "CourierWorkload",
     "FloodWorkload",
     "TrackerPerimeterWorkload",
     "HabitatWorkload",

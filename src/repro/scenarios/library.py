@@ -16,9 +16,45 @@ and hand to ``python -m repro.bench scenario`` or ``Scenario.from_spec``.
   ten mobile, under the flood.  Exists to keep the channel honest at scale:
   the hearer index must absorb thousands of moves incrementally
   (``index_rebuilds`` stays 0) while delivery stays O(degree).
+* **partition-heal** / **partition-heal-frozen** — the adaptivity ablation:
+  geo-routed courier traffic from the far corner to the gateway while the
+  two far rows wander (random waypoint) and a mid-field relay crashes and
+  recovers.  The two specs differ in exactly one key, ``adaptive`` — live
+  acquaintance expiry, localization, and wake re-announcements on vs. the
+  deploy-time snapshot — so the ``delivery_ratio`` gap between the rows *is*
+  the measured value of the adaptive neighborhood subsystem.
 """
 
 from __future__ import annotations
+
+
+def _partition_heal(adaptive: bool) -> dict:
+    """The partition-heal spec, parameterized only by adaptivity."""
+    mobile_rows = [[x, y] for y in (5, 6) for x in range(1, 7)]
+    return {
+        "name": "partition-heal" if adaptive else "partition-heal-frozen",
+        "topology": {"kind": "grid", "width": 6, "height": 6},
+        "workload": {"kind": "courier", "period_s": 2.0, "sources": 3},
+        "dynamics": {
+            "mobility": {
+                "model": "random_waypoint",
+                "speed": [1.5, 4.0],
+                "pause_s": 2.0,
+            },
+            "mobile": mobile_rows,
+            "churn": {
+                "model": "schedule",
+                "events": [[20.0, "fail", [3, 3]], [50.0, "recover", [3, 3]]],
+            },
+            "tick_s": 1.0,
+        },
+        "duration_s": 90.0,
+        "seed": 0,
+        "spacing_m": 60.0,
+        "adaptive": adaptive,
+        "beacon_period_s": 2.0,
+    }
+
 
 BUILTIN_SCENARIOS: dict[str, dict] = {
     "static-flood": {
@@ -79,13 +115,19 @@ BUILTIN_SCENARIOS: dict[str, dict] = {
         "seed": 11,
         "spacing_m": 45.0,
     },
+    "partition-heal": _partition_heal(True),
+    "partition-heal-frozen": _partition_heal(False),
 }
 
-#: The bench sweep's default battery, in presentation order.
+#: The bench sweep's default battery, in presentation order.  The two
+#: partition-heal rows are the delivery-ratio-under-mobility ablation:
+#: adjacent in the table so the adaptive-vs-frozen gap reads directly.
 DEFAULT_SCENARIOS = (
     "static-flood",
     "mobile-tracker",
     "churn-habitat",
     "mixed-tenant",
     "mobile-flood-400",
+    "partition-heal",
+    "partition-heal-frozen",
 )

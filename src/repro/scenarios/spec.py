@@ -31,8 +31,10 @@ from pathlib import Path
 
 from repro.dynamics import DeploymentDynamics, dynamics_from_spec
 from repro.errors import NetworkError
+from repro.net.beacons import DEFAULT_EXPIRY_INTERVALS
 from repro.network import SensorNetwork
 from repro.scenarios.workloads import Workload, workload_from_spec
+from repro.sim.units import seconds
 from repro.topology import Topology, from_spec as topology_from_spec
 
 _SCENARIO_KEYS = frozenset(
@@ -47,6 +49,9 @@ _SCENARIO_KEYS = frozenset(
         "base_station",
         "physical",
         "beacons",
+        "adaptive",
+        "expiry_intervals",
+        "beacon_period_s",
     }
 )
 
@@ -74,6 +79,7 @@ class ScenarioRun:
         channel = net.channel
         result = {
             "scenario": self.scenario.name,
+            "adaptive": self.scenario.adaptive,
             "nodes": len(self.topology),
             "sim_s": self.scenario.duration_s,
             "build_s": round(self.build_s, 4),
@@ -106,6 +112,13 @@ class Scenario:
     base_station: bool = False
     physical: bool = False
     beacons: bool = True
+    #: Adaptive neighborhoods: live receive filters, localization under
+    #: mobility, wake re-announcements, churn context tuples.  Off keeps the
+    #: deployment frozen at build time, bit-for-bit like the PR 3 goldens.
+    adaptive: bool = False
+    #: Missed beacon intervals before a silent neighbor is evicted (``k``).
+    expiry_intervals: int = DEFAULT_EXPIRY_INTERVALS
+    beacon_period_s: float = 10.0
 
     @classmethod
     def from_spec(cls, spec: dict | str | Path) -> "Scenario":
@@ -148,8 +161,11 @@ class Scenario:
             base_station=self.base_station,
             physical=self.physical,
             beacons=self.beacons,
+            beacon_period=seconds(self.beacon_period_s),
             spacing_m=self.spacing_m,
             environment=environment,
+            adaptive=self.adaptive,
+            beacon_expiry_intervals=self.expiry_intervals,
         )
         dynamics = dynamics_from_spec(net, self.dynamics)
         workload.install(net, topology)
@@ -180,6 +196,9 @@ class Scenario:
             "base_station": self.base_station,
             "physical": self.physical,
             "beacons": self.beacons,
+            "adaptive": self.adaptive,
+            "expiry_intervals": self.expiry_intervals,
+            "beacon_period_s": self.beacon_period_s,
         }
         if self.workload is not None:
             spec["workload"] = (

@@ -23,7 +23,9 @@ from repro.errors import NetworkError
 from repro.location import Location
 from repro.mote.environment import Environment, FireField, MovingTargetField, waypoint_path
 from repro.mote.sensors import MAGNETOMETER, TEMPERATURE
+from repro.net import am
 from repro.network import SensorNetwork
+from repro.sim.units import seconds
 from repro.topology import Topology
 
 
@@ -169,6 +171,89 @@ class HabitatWorkload(Workload):
         }
 
 
+class CourierWorkload(Workload):
+    """Geo-routed unicast traffic: the delivery-ratio-under-mobility probe.
+
+    A handful of *source* nodes — the ones farthest from the *sink* (the
+    topology gateway) — each geo-send a small payload toward the sink every
+    ``period_s``, addressed to the sink's current location (a location
+    service, as the paper's location-addressed messaging assumes).  The
+    workload counts originations and sink arrivals, so ``delivery_ratio``
+    directly measures whether greedy geographic forwarding still works after
+    the deployment has churned under it.
+
+    This is the partition-heal scenario's measurement: with frozen
+    acquaintances a mobile relay silently blackholes the route; with
+    adaptive neighborhoods the stale next-hop expires and the route re-forms
+    through whoever is really in range.
+    """
+
+    name = "courier"
+
+    def __init__(self, period_s: float = 2.0, sources: int = 3, payload_bytes: int = 8):
+        if period_s <= 0:
+            raise NetworkError(f"courier period must be positive: {period_s}")
+        if sources < 1:
+            raise NetworkError(f"courier needs at least one source: {sources}")
+        if not (1 <= payload_bytes <= 16):
+            raise NetworkError(f"courier payload must be 1..16 bytes: {payload_bytes}")
+        self.period_s = period_s
+        self.sources = sources
+        self.payload_bytes = payload_bytes
+        self.sink: Location | None = None
+        self.source_locations: list[Location] = []
+        self.sent = 0
+        self.delivered = 0
+        self.misdelivered = 0
+
+    def install(self, net, topology):
+        self.sent = self.delivered = self.misdelivered = 0
+        self.sink = topology.gateway()
+        ranked = sorted(
+            (loc for loc in topology.locations() if loc != self.sink),
+            key=lambda loc: (-loc.distance_to(self.sink), loc),
+        )
+        self.source_locations = ranked[: self.sources]
+        sink_node = net.nodes[self.sink]
+        for node in net.grid_nodes():
+            node.geo.register_kind(
+                am.GEO_APP_MESSAGE,
+                lambda origin, payload, node=node, sink=sink_node: self._on_receipt(
+                    node is sink
+                ),
+            )
+        net.sim.every(seconds(self.period_s), lambda: self._dispatch(net, sink_node))
+
+    def _on_receipt(self, at_sink: bool) -> None:
+        if at_sink:
+            self.delivered += 1
+        else:
+            self.misdelivered += 1  # an epsilon twin matched the destination
+
+    def _dispatch(self, net: SensorNetwork, sink_node) -> None:
+        payload = bytes(self.payload_bytes)
+        for location in self.source_locations:
+            node = net.nodes.get(location)
+            if node is None:
+                continue  # the source departed for good
+            self.sent += 1
+            # Address the sink's *current* location: adaptive sinks that
+            # wander are still reachable, frozen ones read the same value
+            # their deploy-time snapshot holds.
+            node.geo.send(sink_node.mote.location, am.GEO_APP_MESSAGE, payload)
+
+    def metrics(self, net):
+        no_route = sum(node.geo.no_route_drops for node in net.grid_nodes())
+        ratio = round(self.delivered / self.sent, 4) if self.sent else 0.0
+        return {
+            "geo_sent": self.sent,
+            "geo_delivered": self.delivered,
+            "geo_misdelivered": self.misdelivered,
+            "geo_no_route": no_route,
+            "delivery_ratio": ratio,
+        }
+
+
 class MixedTenantWorkload(Workload):
     """Two applications sharing one network (paper §2.2, §5): habitat monitors
     everywhere, plus a fire-detection service flooding from the hub.  A fire
@@ -246,6 +331,7 @@ _WORKLOAD_KINDS: dict[str, tuple[type, frozenset[str]]] = {
         ),
     ),
     "habitat": (HabitatWorkload, frozenset({"period_ticks"})),
+    "courier": (CourierWorkload, frozenset({"period_s", "sources", "payload_bytes"})),
     "mixed": (
         MixedTenantWorkload,
         frozenset(

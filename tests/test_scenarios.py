@@ -114,6 +114,24 @@ class TestStaticParity:
         assert result["moves"] == 0
         assert result["index_rebuilds"] == 0
 
+    def test_static_run_with_expiry_enabled_is_bit_identical(self):
+        """PR 4's golden: beacon-driven expiry is *always* armed, and on a
+        static, churn-free deployment it must be a perfect no-op — the same
+        counters as the PR 3 baselines, with zero evictions, for the default
+        ``k`` and a loose one alike."""
+        for expiry_intervals in (3, 6):
+            spec = dict(self.PARITY_SPEC)
+            spec["expiry_intervals"] = expiry_intervals
+            run = Scenario.from_spec(spec).build()
+            result = run.run()
+            assert result["events"] == self.GOLDEN_EVENTS, expiry_intervals
+            assert result["frames"] == self.GOLDEN_FRAMES, expiry_intervals
+            assert result["coverage"] == self.GOLDEN_COVERAGE, expiry_intervals
+            for node in run.net.all_nodes():
+                acquaintances = node.beacons.acquaintances
+                assert acquaintances.expirations == 0  # nothing ever went stale
+                assert acquaintances.timeout == expiry_intervals * node.beacons.period
+
     def test_dynamic_scenario_differs_from_static(self):
         static = Scenario.from_spec(mini("s", "flood", duration_s=10.0)).run()
         mobile = Scenario.from_spec(
