@@ -7,9 +7,23 @@ instructions before switching context.  The default number of instructions
 is 4 ...  if an agent executes a long-running instruction like sleep, sense,
 or wait, the engine immediately switches context."
 
-Every instruction runs as its own TinyOS task on the mote's 8 MHz CPU; the
-per-instruction cycle cost (ISA class + runtime-dependent arena work) is what
-the Figure 12 benchmark measures.
+The CPU model is unchanged — every instruction is charged its ISA-class plus
+runtime-dependent cycles on the mote's 8 MHz core, which is what the
+Figure 12 benchmark measures.  What *is* new post-paper is how the simulator
+drives it: instead of posting one kernel event per instruction (two, counting
+the completion callback), the engine executes a bounded **run-slice** — up to
+``slice_length`` instructions, the §3.2 context-switch quantum — inside a
+single kernel event while the outcome stays :attr:`Outcome.CONTINUE`.  The
+CPU is charged per instruction through :meth:`Cpu.charge` with the exact
+per-step rounding the per-instruction engine used, so the busy horizon (and
+hence every downstream event time) is bit-identical; agent-heavy scenarios
+just post O(slices) instead of O(instructions) kernel events.  Instructions
+whose handlers observe the clock or the environment
+(:data:`~repro.agilla.isa.NOW_PURE_OPCODES` excludes them) never run
+mid-batch: the slice is suspended and resumed in a fresh event at the exact
+tick the old engine would have dispatched them.  ``yield``-class outcomes
+(``YIELD``/``SLEEP``/``WAIT``/``BLOCKED_TS``/...) end the slice exactly as
+before.
 """
 
 from __future__ import annotations
@@ -19,15 +33,21 @@ from typing import Any, Callable
 
 from repro.agilla.agent import Agent, AgentState
 from repro.agilla.execution import ExecContext, Outcome
-from repro.agilla.isa import BY_OPCODE, InstructionDef
+from repro.agilla.isa import BY_OPCODE, NOW_PURE_OPCODES, InstructionDef
 from repro.agilla.tuples import AgillaTuple
 from repro.agilla.vm_ops import HANDLERS
 from repro.agilla.fields import Value
 from repro.errors import AgentError, CodeMemoryError
 from repro.sim.kernel import EventHandle
+from repro.tinyos.tasks import TaskQueue
 
 #: Cycles the engine spends picking the next agent/instruction (task body).
 DISPATCH_CYCLES = 90
+#: Cycles one inter-instruction hop costs in total: the engine's dispatch
+#: body plus the TinyOS scheduler's task-dispatch overhead.  The run-slice
+#: loop charges this between batched instructions so the CPU timeline matches
+#: the per-instruction task posts it replaced.
+_HOP_CYCLES = DISPATCH_CYCLES + TaskQueue.DISPATCH_CYCLES
 #: Extra cycles when a fetch crosses a 22-byte code-block boundary
 #: (forward-pointer chase in the instruction manager).
 BLOCK_CROSS_CYCLES = 60
@@ -53,6 +73,9 @@ class AgillaEngine:
         self.instructions_executed = 0
         self.context_switches = 0
         self.traps = 0
+        #: Slices cut short because the next instruction must observe its
+        #: true simulated time (it resumes in a fresh kernel event).
+        self.slice_suspensions = 0
 
     # ------------------------------------------------------------------
     # Scheduling interface
@@ -100,71 +123,141 @@ class AgillaEngine:
         if self._pumping:
             return
         self._pumping = True
-        self.middleware.mote.tasks.post(DISPATCH_CYCLES, self._dispatch)
+        # Dispatch hops touch only this engine's own state, so they are
+        # ``benign``: they never suspend another mote's instruction batch.
+        self.middleware.mote.tasks.post(DISPATCH_CYCLES, self._dispatch, benign=True)
 
     def _dispatch(self) -> None:
-        while self.run_queue and self.run_queue[0].state != AgentState.READY:
-            self.run_queue.popleft()
-        if not self.run_queue:
+        """Run one slice (or resume a suspended one) in this kernel event.
+
+        Instructions are executed back-to-back while the outcome stays
+        ``CONTINUE`` and the slice budget lasts; the CPU is charged per
+        instruction (work, then the inter-instruction hop) with the exact
+        rounding the per-instruction task posts used, so ``busy_until`` —
+        and with it every send, sleep, and timer downstream — lands on the
+        same microsecond.  A batched handler may observe a slightly stale
+        ``sim.now``; handlers for which that is observable are excluded from
+        :data:`NOW_PURE_OPCODES` and make the slice suspend, resuming in a
+        fresh event at the instruction's true tick (``on_instruction``
+        instrumentation forces that per-instruction mode globally, so traces
+        keep exact timestamps).
+        """
+        run_queue = self.run_queue
+        while run_queue and run_queue[0].state != AgentState.READY:
+            run_queue.popleft()
+        if not run_queue:
             self._pumping = False
             self._current = None
             return
-        agent = self.run_queue[0]
+        agent = run_queue[0]
         if self._current is not agent:
             self._current = agent
             self._slice_left = self.middleware.params.slice_length
             self.context_switches += 1
-        self._execute_one(agent)
+        middleware = self.middleware
+        sim = middleware.mote.sim
+        cpu = middleware.mote.cpu
+        manager = middleware.instruction_manager
+        cycle_overrides = middleware.params.cycle_overrides
+        first = True
+        while True:
+            if agent.pending_reactions:
+                if not self._vector_reaction(agent):
+                    self._continue()  # trapped mid-vector: agent died, move on
+                    return
 
-    def _execute_one(self, agent: Agent) -> None:
-        if agent.pending_reactions:
-            if not self._vector_reaction(agent):
+            try:
+                opcode = manager.read(agent.id, agent.pc, 1)[0]
+                idef = BY_OPCODE.get(opcode)
+                if idef is None:
+                    raise AgentError(f"agent {agent.id}: invalid opcode 0x{opcode:02x}")
+                raw = manager.read(agent.id, agent.pc, idef.length)
+            except (AgentError, CodeMemoryError) as exc:
+                if not first:
+                    # The fetch mutated nothing, so a mid-batch fetch trap is
+                    # safely re-raised as the *first* fetch of a fresh event
+                    # at the instruction's true tick — the death log then
+                    # records the same timestamp the per-instruction engine
+                    # would have.
+                    self.slice_suspensions += 1
+                    sim.schedule_at(cpu.busy_until, self._dispatch, benign=True)
+                    return
+                self._trap(agent, exc)
                 self._continue()
                 return
 
-        manager = self.middleware.instruction_manager
-        try:
-            opcode = manager.read(agent.id, agent.pc, 1)[0]
-            idef = BY_OPCODE.get(opcode)
-            if idef is None:
-                raise AgentError(f"agent {agent.id}: invalid opcode 0x{opcode:02x}")
-            raw = manager.read(agent.id, agent.pc, idef.length)
-        except (AgentError, CodeMemoryError) as exc:
-            self._trap(agent, exc)
-            self._continue()
-            return
+            if not first and (
+                opcode not in NOW_PURE_OPCODES or self.on_instruction is not None
+            ):
+                # Time-sensitive handler mid-batch: suspend the slice (budget
+                # and current agent survive) and resume at the exact tick the
+                # per-instruction engine would have dispatched it.  The hop
+                # charge was already applied when the batch continued.
+                self.slice_suspensions += 1
+                sim.schedule_at(cpu.busy_until, self._dispatch, benign=True)
+                return
 
-        pc_before = agent.pc
-        agent.pc = pc_before + idef.length
-        context = ExecContext(
-            agent=agent,
-            middleware=self.middleware,
-            idef=idef,
-            operand=raw[1:],
-            pc_before=pc_before,
-        )
-        try:
-            outcome, extra = HANDLERS[idef.name](context)
-        except AgentError as exc:
-            self._trap(agent, exc)
-            self._continue()
-            return
+            pc_before = agent.pc
+            agent.pc = pc_before + idef.length
+            context = ExecContext(
+                agent=agent,
+                middleware=middleware,
+                idef=idef,
+                operand=raw[1:],
+                pc_before=pc_before,
+            )
+            try:
+                outcome, extra = HANDLERS[idef.name](context)
+            except AgentError as exc:
+                self._trap(agent, exc)
+                self._continue()
+                return
 
-        cycles = idef.base_cycles + extra
-        if manager.crosses_block(agent.id, pc_before, idef.length):
-            cycles += BLOCK_CROSS_CYCLES
-        override = self.middleware.params.cycle_overrides.get(idef.name)
-        if override is not None:
-            cycles = override + extra
-        agent.instructions_executed += 1
-        self.instructions_executed += 1
-        if self.on_instruction is not None:
-            self.on_instruction(agent, idef, cycles)
-        # Apply the outcome now (so services deferred through the task queue
-        # observe the agent's new state), then charge the CPU for the
-        # instruction's cycles before the interpreter moves on.
-        self._apply_outcome(agent, outcome, pc_before)
-        self.middleware.mote.cpu.execute(cycles, self._continue)
+            cycles = idef.base_cycles + extra
+            if manager.crosses_block(agent.id, pc_before, idef.length):
+                cycles += BLOCK_CROSS_CYCLES
+            override = cycle_overrides.get(idef.name)
+            if override is not None:
+                cycles = override + extra
+            agent.instructions_executed += 1
+            self.instructions_executed += 1
+            if self.on_instruction is not None:
+                self.on_instruction(agent, idef, cycles)
+            # Apply the outcome first (so services observe the agent's new
+            # state at the same point the per-instruction engine exposed it),
+            # then charge the CPU for the instruction's cycles.
+            self._apply_outcome(agent, outcome, pc_before)
+            cpu.charge(cycles)
+            # The interleaving guard: any *hazardous* kernel event due at or
+            # before the moment the per-instruction engine's completion
+            # callback would have fired (frame delivery, a task handler, a
+            # timer — anything that may post CPU work or mutate state the
+            # next instruction reads) must still run *between* instructions.
+            # Fall back to an explicit boundary event at exactly that tick —
+            # scheduled here, with no hazardous event firing in between, so
+            # the global scheduling order matches the two-step engine's.
+            next_hazard = sim.next_hazard_time()
+            if next_hazard is not None and next_hazard <= cpu.busy_until:
+                self.slice_suspensions += 1
+                sim.schedule_at(cpu.busy_until, self._continue, benign=True)
+                return
+            if outcome is not Outcome.CONTINUE or self._current is not agent:
+                # Parked, migrating, dead, or slice budget exhausted
+                # (_apply_outcome rotated the queue): this slice is over.
+                # Nothing hazardous fires before the boundary (guard above),
+                # so the completion event is fused away and the next dispatch
+                # is posted directly.
+                self._continue()
+                return
+            # Same agent, same slice: pay the inter-instruction hop, re-check
+            # the guard against the next instruction's true dispatch tick,
+            # and keep executing inside this kernel event.
+            cpu.charge(_HOP_CYCLES)
+            if next_hazard is not None and next_hazard <= cpu.busy_until:
+                self.slice_suspensions += 1
+                sim.schedule_at(cpu.busy_until, self._dispatch, benign=True)
+                return
+            first = False
 
     def _vector_reaction(self, agent: Agent) -> bool:
         """Redirect the PC to a fired reaction's handler (§3.2/§3.3).
@@ -225,13 +318,28 @@ class AgillaEngine:
         self._current = None
 
     def _continue(self) -> None:
+        """End-of-boundary bookkeeping, identical to the two-step engine's
+        completion callback: post the next dispatch task (paying the hop
+        charge) or let the pump wind down."""
         if self.run_queue:
-            self.middleware.mote.tasks.post(DISPATCH_CYCLES, self._dispatch)
+            self.middleware.mote.tasks.post(DISPATCH_CYCLES, self._dispatch, benign=True)
         else:
             self._pumping = False
             self._current = None
 
     def _trap(self, agent: Agent, exc: Exception) -> None:
+        """Kill a faulting agent.
+
+        A *handler* trap raised mid-batch (a pure instruction overflowing
+        the stack, say) is stamped into the death log at the slice's start
+        tick, up to a few hundred µs before the instruction's true dispatch
+        time — the handler already mutated agent state, so it cannot be
+        re-run at the exact tick the way a fetch trap is.  The skew is
+        debug-log-only: the agent is dead either way, and no frame, drop, or
+        instruction counter depends on it.  (With ``on_instruction``
+        instrumentation every instruction runs first-in-event, so traced
+        runs never see the skew.)
+        """
         self.traps += 1
         agent.trap = str(exc)
         self.middleware.agent_manager.kill(agent, f"trap: {exc}")

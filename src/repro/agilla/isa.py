@@ -191,6 +191,21 @@ INSTRUCTIONS: tuple[InstructionDef, ...] = tuple(_defs())
 BY_NAME: dict[str, InstructionDef] = {idef.name: idef for idef in INSTRUCTIONS}
 BY_OPCODE: dict[int, InstructionDef] = {idef.opcode: idef for idef in INSTRUCTIONS}
 
+#: Handlers a run-slice may execute mid-batch at a slightly stale ``sim.now``
+#: (see :class:`repro.agilla.engine.AgillaEngine`): pure stack/heap/ALU work
+#: and *local* tuple-space traffic.  Everything that consults the clock or the
+#: physical world — ``sense`` reads a time-varying environment field,
+#: ``sleep`` arms a relative timer, ``putled`` timestamps the LED history,
+#: ``halt`` timestamps the death log, and the migration / remote-op families
+#: hand off to protocol managers that schedule sends — must run as the first
+#: instruction of a kernel event, at its true simulated time.
+NOW_PURE_OPCODES: frozenset[int] = frozenset(
+    idef.opcode
+    for idef in INSTRUCTIONS
+    if idef.cost_class in (CostClass.A, CostClass.B, CostClass.TS)
+    and idef.name not in ("halt", "putled")
+)
+
 if len(BY_OPCODE) != len(INSTRUCTIONS):  # pragma: no cover - static sanity
     raise AgillaError("duplicate opcode in the ISA table")
 

@@ -240,11 +240,20 @@ class ContextManager:
         #: retried on the next event so the mirror re-converges once the
         #: arena drains.
         self._dirty_mirrors: set[Location] = set()
+        #: Steward flap damping: mote id -> sim time its last ``<'nbf'>``
+        #: actually fired.  A repeat find inside the hold-down window
+        #: (``params.find_hold_down_intervals`` beacon periods) is *deferred*
+        #: instead of fired — the pending location is parked here and flushed
+        #: once the window expires, if the neighbor is still up.
+        self._last_find_fired: dict[int, int] = {}
+        self._deferred_finds: dict[int, Location] = {}
         # Statistics.
         self.neighbor_events = 0
         self.wake_events = 0
         self.find_events = 0
         self.refind_suppressions = 0
+        self.flap_deferrals = 0
+        self.deferred_finds_fired = 0
 
     @property
     def location(self):
@@ -349,13 +358,12 @@ class ContextManager:
             else:
                 # Either a first discovery, or a displaced node that stayed
                 # silent past the staleness horizon — that is a recovery.
-                self.find_events += 1
-                self._replace(
-                    neighbor_found_template(),
-                    self._neighbor_tuple(NEIGHBOR_FOUND_TAG, entry.location),
-                )
+                self._raise_find(entry.mote_id, entry.location, now)
         elif event == NEIGHBOR_LOST:
             self._displaced_ids.pop(entry.mote_id, None)
+            # A pending deferred find is moot: the neighbor went dark again
+            # before its hold-down expired (the flap damping working).
+            self._deferred_finds.pop(entry.mote_id, None)
             self._sync_mirror_at(entry.location)
             self._replace(
                 neighbor_lost_template(),
@@ -369,6 +377,54 @@ class ContextManager:
         elif event == NEIGHBOR_MOVED and previous is not None:
             self._sync_mirror_at(previous)
             self._sync_mirror_at(entry.location)
+
+    # ------------------------------------------------------------------
+    # Steward flap damping (hold-down before repeat <'nbf'> events)
+    # ------------------------------------------------------------------
+    @property
+    def find_hold_down(self) -> int:
+        """The hold-down window in µs (0 when damping is disabled)."""
+        intervals = self.middleware.params.find_hold_down_intervals
+        if intervals <= 0:
+            return 0
+        return intervals * self.middleware.beacons.period
+
+    def _raise_find(self, mote_id: int, location: Location, now: int) -> None:
+        """Fire ``<'nbf', location>`` — or defer it inside the hold-down.
+
+        The first find for a mote always fires immediately (a recovery after
+        genuine silence must re-knit monitoring without delay).  A *repeat*
+        find within ``find_hold_down`` of the last fired one is the flapping
+        pattern the steward must not chase: the location is parked and one
+        flush is scheduled for the window's end, so however often the node
+        flaps, watching agents see at most one ``<'nbf'>`` per window — and
+        still see one if the node finally stabilizes mid-window.
+        """
+        hold_down = self.find_hold_down
+        last_fired = self._last_find_fired.get(mote_id)
+        if hold_down > 0 and last_fired is not None and now - last_fired < hold_down:
+            self.flap_deferrals += 1
+            if mote_id not in self._deferred_finds:
+                self.middleware.mote.sim.schedule(
+                    last_fired + hold_down - now, self._flush_deferred_find, mote_id
+                )
+            self._deferred_finds[mote_id] = location
+            return
+        self.find_events += 1
+        self._last_find_fired[mote_id] = now
+        self._replace(
+            neighbor_found_template(),
+            self._neighbor_tuple(NEIGHBOR_FOUND_TAG, location),
+        )
+
+    def _flush_deferred_find(self, mote_id: int) -> None:
+        location = self._deferred_finds.pop(mote_id, None)
+        if location is None:
+            return  # lost again before the window expired: nothing to monitor
+        if mote_id not in self.middleware.acquaintances:
+            return  # expired from the live list while the window ran out
+        self.deferred_finds_fired += 1
+        self._raise_find(mote_id, location, self.middleware.mote.sim.now)
 
     def _on_radio_power(self, up: bool) -> None:
         if up:

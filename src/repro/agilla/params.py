@@ -101,6 +101,16 @@ class AgillaParams:
     # --- Addressing (§2.2) ---
     location_epsilon: float = 0.45
 
+    # --- Adaptive neighborhoods: steward flap damping ---
+    #: Hold-down window, in beacon intervals, before a neighbor that just
+    #: (re)appeared may raise *another* ``<'nbf'>`` event.  A flapping node
+    #: (fail → recover → fail in quick succession) otherwise draws a fresh
+    #: ``sclone`` from every watching steward on each recovery; with the
+    #: hold-down, repeat finds inside the window are deferred — the event
+    #: fires once the window expires *if the neighbor is still up*, so a
+    #: node that stabilizes is still re-monitored (just once).  0 disables.
+    find_hold_down_intervals: int = 3
+
     # --- sleep instruction: ticks of 1/8 s (Figure 13: 4800 ticks = 10 min) ---
     sleep_tick: int = 125_000
 

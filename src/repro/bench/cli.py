@@ -8,6 +8,7 @@ Usage::
     python -m repro.bench kernel --out results/
     python -m repro.bench profile mobile-flood-400 --top 25
     python -m repro.bench compare results/BENCH_scale.json new/BENCH_scale.json
+    python -m repro.bench trend week1/BENCH_scale.json week2/... week3/...
     agilla-bench fig12
 """
 
@@ -28,6 +29,7 @@ from repro.bench import (
     perf,
     scale,
     scenarios,
+    trend,
 )
 from repro.bench.reporting import Table
 
@@ -174,10 +176,13 @@ EXPERIMENTS = {
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # Two subcommands take their own positionals/flags and bypass the shared
-    # experiment parser: the artifact diff gate and the scenario profiler.
+    # These subcommands take their own positionals/flags and bypass the
+    # shared experiment parser: the artifact diff gate, the cross-run trend
+    # table, and the scenario profiler.
     if argv and argv[0] == "compare":
         return compare.main(argv[1:])
+    if argv and argv[0] == "trend":
+        return trend.main(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
 

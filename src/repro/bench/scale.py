@@ -105,6 +105,10 @@ def run_one(
         "wall_s": round(wall_s, 4),
         "events": net.sim.events_fired,
         "events_per_s": round(net.sim.events_fired / wall_s) if wall_s > 0 else 0,
+        #: Simulated seconds per wall second — the throughput number that
+        #: stays comparable across changes to what counts as "an event"
+        #: (PR 5's run-slice engine fires O(slices), not O(instructions)).
+        "sim_x_real": round(duration_s / wall_s, 1) if wall_s > 0 else 0,
         "frames": net.radio_messages(),
         "frames_per_s": round(net.radio_messages() / wall_s, 1) if wall_s > 0 else 0,
         "coverage": count_tagged(net, "fdt"),

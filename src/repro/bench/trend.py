@@ -1,0 +1,101 @@
+"""Cross-run trend tables: throughput per bench row over the last N runs.
+
+``python -m repro.bench trend OLD.json [...] NEW.json`` lines up any number
+of bench artifacts of the same kind (scale, scenario, or kernel sweeps) in
+chronological order and prints, per row, the events/s series, the latest
+step's delta, and a sparkline — so the weekly CI job can render "how has the
+1000-node grid row moved over the last two months" straight into its summary
+instead of leaving the reader to diff artifact zips by hand.
+
+Row identity reuses :mod:`repro.bench.compare`'s key columns, and rows absent
+from some runs degrade to gaps (``·`` in the sparkline) rather than errors —
+the battery grows over time.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.compare import _key_fields, _keyed, _load
+
+#: Eight-level bars; a gap glyph marks runs where the row did not exist.
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+_GAP = "·"
+
+
+def sparkline(values: list[float | None]) -> str:
+    """Render a value series as unicode bars, scaled to the row's own range."""
+    present = [value for value in values if value is not None]
+    if not present:
+        return _GAP * len(values)
+    low, high = min(present), max(present)
+    span = high - low
+    glyphs = []
+    for value in values:
+        if value is None:
+            glyphs.append(_GAP)
+        elif span <= 0:
+            glyphs.append(_SPARK_GLYPHS[3])  # flat series: mid-height bar
+        else:
+            index = int((value - low) / span * (len(_SPARK_GLYPHS) - 1))
+            glyphs.append(_SPARK_GLYPHS[index])
+    return "".join(glyphs)
+
+
+def trend_table(paths: list[str], metric: str = "events_per_s") -> str:
+    """Render the cross-run table for artifacts given oldest → newest."""
+    payloads = [_load(path) for path in paths]
+    all_rows = [row for payload in payloads for row in payload["rows"]]
+    fields = _key_fields(all_rows, [])
+    keyed = [_keyed(payload["rows"], fields) for payload in payloads]
+    # Row universe: first-seen order, oldest artifact first, so long-lived
+    # rows lead the table and newly added ones trail it.
+    order: list[tuple] = []
+    for runs in keyed:
+        for key in runs:
+            if key not in order:
+                order.append(key)
+
+    value_width = 9
+    header_cells = " ".join(f"{f'run{i + 1}':>{value_width}}" for i in range(len(paths)))
+    header = f"{'row':<28} {header_cells} {'latest':>8}  trend"
+    lines = [
+        f"== bench trend: {metric} over {len(paths)} runs (oldest -> newest) ==",
+        *(f"  run{i + 1}: {path}" for i, path in enumerate(paths)),
+        header,
+        "-" * len(header),
+    ]
+    for key in order:
+        label = "/".join(str(part) for part in key)
+        series: list[float | None] = [
+            runs[key].get(metric) if key in runs else None for runs in keyed
+        ]
+        cells = " ".join(
+            f"{'-':>{value_width}}" if value is None else f"{value:>{value_width}}"
+            for value in series
+        )
+        latest, previous = series[-1], (series[-2] if len(series) > 1 else None)
+        if latest is not None and previous:
+            delta = f"{100.0 * (latest - previous) / previous:>+7.1f}%"
+        else:
+            delta = f"{'-':>8}"
+        lines.append(f"{label:<28} {cells} {delta}  {sparkline(series)}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="agilla-bench trend",
+        description="Tabulate events/s per bench row across several artifacts.",
+    )
+    parser.add_argument(
+        "artifacts", nargs="+", help="BENCH_*.json files, oldest first"
+    )
+    parser.add_argument(
+        "--metric",
+        default="events_per_s",
+        help="row metric to track (default events_per_s)",
+    )
+    args = parser.parse_args(argv)
+    print(trend_table(args.artifacts, metric=args.metric))
+    return 0

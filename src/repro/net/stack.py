@@ -35,7 +35,6 @@ class NetworkStack:
             raise NetworkError("radio belongs to a different mote")
         self.mote = mote
         self.radio = radio
-        radio.set_receive_callback(self._on_frame)
         self._handlers: dict[int, Callable[[Frame], None]] = {}
         self._filters: list[Callable[[Frame], bool]] = []
         self._observers: list[Callable[[Frame], None]] = []
@@ -49,6 +48,7 @@ class NetworkStack:
         self.received = 0
         self.dropped_by_filter = 0
         self.queue_overflows = 0
+        self._recompile()
 
     # ------------------------------------------------------------------
     # Configuration
@@ -58,10 +58,12 @@ class NetworkStack:
         if am_type in self._handlers:
             raise NetworkError(f"handler for AM type 0x{am_type:02x} already set")
         self._handlers[am_type] = handler
+        self._recompile()
 
     def install_filter(self, frame_filter: Callable[[Frame], bool]) -> None:
         """Add a receive filter; returning False drops the frame."""
         self._filters.append(frame_filter)
+        self._recompile()
 
     def add_observer(self, observer: Callable[[Frame], None]) -> None:
         """Watch every frame the radio hears, *before* addressing and filters.
@@ -73,6 +75,55 @@ class NetworkStack:
         Observers must not mutate the frame.
         """
         self._observers.append(observer)
+        self._recompile()
+
+    def _recompile(self) -> None:
+        """Flatten the receive chain into one precompiled dispatch closure.
+
+        Installing an observer, filter, or handler is rare; receiving a frame
+        is the hot path.  So the observer/filter/handler chains are compiled
+        into a single closure over local bindings whenever the configuration
+        changes, and that closure is what the radio calls — per frame there
+        is no re-resolution of ``self._observers``/``self._filters`` and, in
+        the common no-observer/no-filter shape, no chain iteration at all.
+        """
+        observers = tuple(self._observers)
+        filters = tuple(self._filters)
+        handlers = self._handlers  # mutated in place; shared by reference
+        mote_id = self.mote.id
+        post = self.mote.tasks.post
+
+        if observers or filters:
+
+            def dispatch(frame: Frame, _stack=self) -> None:
+                for observer in observers:
+                    observer(frame)
+                if not frame.is_broadcast and frame.dest != mote_id:
+                    return  # addressed to someone else
+                for frame_filter in filters:
+                    if not frame_filter(frame):
+                        _stack.dropped_by_filter += 1
+                        return
+                handler = handlers.get(frame.am_type)
+                if handler is None:
+                    return
+                _stack.received += 1
+                # Reception is dispatched as a TinyOS task on the mote's CPU.
+                post(RX_DISPATCH_CYCLES, handler, frame)
+
+        else:
+
+            def dispatch(frame: Frame, _stack=self) -> None:
+                if not frame.is_broadcast and frame.dest != mote_id:
+                    return  # addressed to someone else
+                handler = handlers.get(frame.am_type)
+                if handler is None:
+                    return
+                _stack.received += 1
+                post(RX_DISPATCH_CYCLES, handler, frame)
+
+        self._dispatch = dispatch
+        self.radio.set_receive_callback(dispatch)
 
     # ------------------------------------------------------------------
     # Sending
@@ -128,17 +179,6 @@ class NetworkStack:
     # Receiving
     # ------------------------------------------------------------------
     def _on_frame(self, frame: Frame) -> None:
-        for observer in self._observers:
-            observer(frame)
-        if not frame.is_broadcast and frame.dest != self.mote.id:
-            return  # addressed to someone else
-        for frame_filter in self._filters:
-            if not frame_filter(frame):
-                self.dropped_by_filter += 1
-                return
-        handler = self._handlers.get(frame.am_type)
-        if handler is None:
-            return
-        self.received += 1
-        # Reception is dispatched as a TinyOS task on the mote's CPU.
-        self.mote.tasks.post(RX_DISPATCH_CYCLES, handler, frame)
+        """Receive entry point (the radio calls the compiled closure directly;
+        this indirection stays for tests and external callers)."""
+        self._dispatch(frame)

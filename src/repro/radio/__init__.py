@@ -2,6 +2,7 @@
 
 from repro.radio.channel import EFFECTIVE_BITRATE, Channel, MacParams, Radio, Transmission
 from repro.radio.frame import FRAME_OVERHEAD_BYTES, MAX_PAYLOAD, Frame
+from repro.radio.linkcache import LinkCache
 from repro.radio.linkmodels import (
     DEFAULT_PRR,
     MICA2_RANGE_M,
@@ -20,6 +21,7 @@ __all__ = [
     "FRAME_OVERHEAD_BYTES",
     "MAX_PAYLOAD",
     "Frame",
+    "LinkCache",
     "DEFAULT_PRR",
     "MICA2_RANGE_M",
     "DistancePrrLinks",

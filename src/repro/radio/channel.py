@@ -19,13 +19,13 @@ Reception is decided per receiver at end-of-frame:
 from __future__ import annotations
 
 import math
-from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import RadioError
 from repro.mote.mote import Mote
 from repro.radio.frame import Frame
+from repro.radio.linkcache import LinkCache
 from repro.radio.linkmodels import LinkModel, Position, UniformLossLinks
 from repro.sim.kernel import Simulator
 
@@ -48,6 +48,11 @@ class Transmission:
     frame: Frame
     start: int
     end: int
+    #: Other transmissions whose airtime intersects this one's, collected
+    #: incrementally while both are on the air (see
+    #: :meth:`Channel.begin_transmission`) — the collision set, precomputed,
+    #: so end-of-frame never scans transmission history.
+    overlaps: list["Transmission"] | None = None
 
 
 class Radio:
@@ -65,6 +70,7 @@ class Radio:
         self._receive_callback: Callable[[Frame], None] | None = None
         self._current_tx: Transmission | None = None
         self._send_pending = False
+        self._pending_carrier_sense = None  # EventHandle of the armed backoff
         self._attach_seq = 0  # set by Channel.attach; orders hearer lists
         # Statistics used by the benchmarks.
         self.frames_sent = 0
@@ -83,6 +89,11 @@ class Radio:
         if up == self._enabled:
             return
         self._enabled = up
+        if not up and self._send_pending and self._pending_carrier_sense is not None:
+            # The armed backoff will now abort the send (completion callbacks
+            # touch protocol and scheduling state): it is no longer benign to
+            # overrun, so re-classify it for the run-slice guard.
+            self.sim.mark_hazard(self._pending_carrier_sense)
         for listener in list(self.power_listeners):
             listener(up)
 
@@ -122,7 +133,16 @@ class Radio:
         backoff: tuple[int, int],
     ) -> None:
         delay = self.channel.rng.randint(*backoff)
-        self.sim.schedule(delay, self._carrier_sense, frame, on_done, attempt)
+        # Backoff/carrier-sense events read and mutate only the shared air
+        # (which no batched agent instruction touches): benign, so a pending
+        # backoff on one mote never suspends a run-slice — *unless* this
+        # attempt could terminate the send (MAC give-up), whose completion
+        # callbacks reach protocol state and agent scheduling.  A mid-send
+        # radio power-down re-classifies the pending event (see ``enabled``).
+        benign = attempt + 1 < self.channel.mac.max_attempts
+        self._pending_carrier_sense = self.sim.schedule(
+            delay, self._carrier_sense, frame, on_done, attempt, benign=benign
+        )
 
     def _carrier_sense(
         self, frame: Frame, on_done: Callable[[bool], None] | None, attempt: int
@@ -190,11 +210,13 @@ class Channel:
     rebuild triggers and ``index_moves`` counts incremental re-keys, so tests
     and benchmarks can assert that a mobility tick never degenerates into a
     full rebuild.
-    """
 
-    #: Legacy upper bound on how long a finished transmission may be kept for
-    #: overlap checks.  The live prune is tighter (see :meth:`_prune`).
-    _PRUNE_AGE_US = 1_000_000
+    Per-pair PRRs are memoized in :attr:`link_cache` and invalidated on the
+    same hooks (move, detach, link-model swap), so steady-state delivery does
+    one dict lookup per receiver instead of re-deriving link quality from
+    geometry on every frame.  ``prr_overrides`` bypass the cache entirely:
+    failure injection applies to the very next delivery, warm cache or not.
+    """
 
     def __init__(
         self,
@@ -214,18 +236,21 @@ class Channel:
         self.rng = sim.rng("channel")
         self._radios: dict[int, Radio] = {}
         self._attach_counter = 0
-        self._transmissions: deque[Transmission] = deque()
-        #: The handful of transmissions currently on the air — what carrier
-        #: sense actually scans, instead of the whole recent-history deque.
+        #: The handful of transmissions currently on the air: what carrier
+        #: sense scans, and the source of each new frame's overlap set.
         self._on_air: list[Transmission] = []
-        self._max_airtime_us = 0
         # Hearer index: mote id -> radios in range of that transmitter, in
         # attach order (kept as list for iteration plus id-set for membership).
         self._hearers: dict[int, list[Radio]] = {}
         self._hearer_ids: dict[int, frozenset[int]] = {}
         self._cells: dict[tuple[int, int], list[Radio]] | None = None
         self._cell_size: float = 0.0
+        #: Memoized per-pair PRRs (see :mod:`repro.radio.linkcache`).
+        self.link_cache = LinkCache(self._link_model)
         #: Per (src mote id, dst mote id) PRR override for failure injection.
+        #: Consulted *before* the link cache on every delivery, so an override
+        #: installed while frames are already in flight still applies to the
+        #: next reception decision.
         self.prr_overrides: dict[tuple[int, int], float] = {}
         # Statistics.
         self.frames_transmitted = 0
@@ -246,6 +271,7 @@ class Channel:
     @link_model.setter
     def link_model(self, model: LinkModel) -> None:
         self._link_model = model
+        self.link_cache.swap_model(model)
         self.invalidate_neighbor_index()
 
     def attach(self, mote: Mote, position: Position | None = None) -> Radio:
@@ -263,6 +289,9 @@ class Channel:
         self._attach_counter += 1
         self._radios[mote.id] = radio
         mote.radio = radio
+        # A re-used mote id (detach then re-attach) must not inherit the
+        # departed radio's cached link quality.
+        self.link_cache.invalidate(mote.id)
         self.invalidate_neighbor_index()
         return radio
 
@@ -305,6 +334,10 @@ class Channel:
         old = radio.position
         if old == position:
             return
+        # The mover's link quality changed toward *everyone*: drop exactly
+        # the cached PRR pairs it participates in, whatever happens to the
+        # spatial hash below.
+        self.link_cache.invalidate(mote_id)
         if self._cells is None:
             radio.position = position  # index not built yet: nothing to re-key
             return
@@ -340,6 +373,7 @@ class Channel:
         if radio is None:
             raise RadioError(f"cannot detach unknown mote id {mote_id}")
         radio.enabled = False
+        self.link_cache.invalidate(mote_id)
         self.retired_bytes_sent += radio.bytes_sent
         if self._cells is not None:
             if self._cell_size <= 0.0:
@@ -437,10 +471,25 @@ class Channel:
         return False
 
     def begin_transmission(self, tx: Transmission) -> None:
-        if tx.end - tx.start > self._max_airtime_us:
-            self._max_airtime_us = tx.end - tx.start
-        self._prune(tx.start)
-        self._transmissions.append(tx)
+        """Put a frame on the air, recording mutual overlaps incrementally.
+
+        Two transmissions overlap iff one is still on the air when the other
+        begins (a radio's own sends are serialized, so they never overlap
+        each other).  Registering the intersection here — O(on-air) per
+        frame — means end-of-frame reads its collision set off the
+        transmission instead of scanning recent history.
+        """
+        for other in self._on_air:
+            # ``other.end > tx.start`` guards the same-microsecond boundary:
+            # a frame whose end-of-transmission event is queued for this very
+            # tick is finished physics, not an overlap.
+            if other.radio is not tx.radio and other.end > tx.start:
+                if other.overlaps is None:
+                    other.overlaps = []
+                other.overlaps.append(tx)
+                if tx.overlaps is None:
+                    tx.overlaps = []
+                tx.overlaps.append(other)
         self._on_air.append(tx)
         self.frames_transmitted += 1
 
@@ -448,56 +497,98 @@ class Channel:
         """Frame finished: decide reception independently per receiver.
 
         Only the transmitter's cached hearer list is visited — O(degree) per
-        frame — never the full radio population.  The transmissions that
-        overlap ``tx`` are computed once up front, so the per-receiver
-        collision check scans the (usually empty or tiny) overlap list
-        instead of the whole recent-transmission deque.
+        frame — never the full radio population.  The fan-out is *batched*:
+        one pass over the hearers builds the receiver list (powered, not
+        mid-transmission, not collided), one pass resolves PRRs — overrides
+        first, then the memoized link cache — and draws the Bernoulli
+        outcomes, and only then are surviving frames handed up the stacks.
+        The RNG draws happen in the exact per-receiver (attach) order the
+        unbatched loop used, so fixed-seed runs are bit-identical; handlers
+        run after every reception decision is made, which also means nothing
+        a handler does can alter this frame's own outcomes.
+
+        The transmissions that overlap ``tx`` were recorded while both were
+        on the air (:meth:`begin_transmission`), so the per-receiver collision
+        check scans a precomputed (usually absent or tiny) overlap list and
+        never touches transmission history.
         """
         self._on_air.remove(tx)
         hearers = self.hearers(tx.radio)
         if not hearers:
-            return  # nobody in range: skip the overlap precompute entirely
-        # Hot path: the deque holds every recent transmission, but only the
-        # ones overlapping [tx.start, tx.end) from other radios can corrupt
-        # this frame, and that set is shared by all receivers — so resolve
-        # each one's hearer-id set once up front and the per-receiver check
-        # becomes a set membership.
+            return  # nobody in range: skip the fan-out entirely
+        # Resolve each overlapping transmitter's hearer-id set once up front:
+        # the set is shared by all receivers, so the per-receiver collision
+        # check becomes a set membership.
         overlapping = None
         start, end = tx.start, tx.end
-        for other in self._transmissions:
-            if (
-                other is not tx
-                and other.radio is not tx.radio
-                and other.start < end
-                and other.end > start
-            ):
+        if tx.overlaps:
+            for other in tx.overlaps:
                 other_id = other.radio.mote.id
                 if other_id not in self._hearer_ids:
                     self.hearers(other.radio)
                 if overlapping is None:
                     overlapping = []
                 overlapping.append((other.radio, self._hearer_ids[other_id]))
-        tx_id = tx.radio.mote.id
-        tx_position = tx.radio.position
-        overrides = self.prr_overrides
-        link_prr = self._link_model.prr
-        random = self.rng.random
+        # Pass 1: who can receive at all.
+        receivers = None
         for radio in hearers:
             if not radio._enabled:
                 continue
             receiver_tx = radio._current_tx
             if receiver_tx is not None and receiver_tx.start < end and receiver_tx.end > start:
                 continue  # half-duplex: was busy sending
-            if overlapping is not None and self._collided(overlapping, radio):
-                self.collisions += 1
-                continue
-            prr = overrides.get((tx_id, radio.mote.id)) if overrides else None
+            if overlapping is not None:
+                # Inlined collision check (hot at high contention): another
+                # frame audible at this receiver — or the receiver's own
+                # just-finished transmission — corrupts the reception.
+                receiver_id = radio.mote.id
+                collided = False
+                for other_radio, audible_ids in overlapping:
+                    if other_radio is radio or receiver_id in audible_ids:
+                        collided = True
+                        break
+                if collided:
+                    self.collisions += 1
+                    continue
+            if receivers is None:
+                receivers = []
+            receivers.append(radio)
+        if receivers is None:
+            return
+        # Pass 2: link quality (override ▸ cache ▸ model) and loss draws.
+        tx_id = tx.radio.mote.id
+        tx_position = tx.radio.position
+        overrides = self.prr_overrides
+        cache = self.link_cache
+        cache_row = cache.row(tx_id)
+        random = self.rng.random
+        delivered = None
+        for radio in receivers:
+            dst_id = radio.mote.id
+            prr = overrides.get((tx_id, dst_id)) if overrides else None
             if prr is None:
-                prr = link_prr(tx_position, radio.position)
+                prr = cache_row.get(dst_id)
+                if prr is None:
+                    prr = cache.fill(tx_id, tx_position, dst_id, radio.position)
+                else:
+                    cache.cache_hits += 1
             if random() >= prr:
                 self.prr_drops += 1
                 continue
-            radio.deliver(tx.frame)
+            if delivered is None:
+                delivered = []
+            delivered.append(radio)
+        if delivered is None:
+            return
+        # Pass 3: the batched hand-off (receive callbacks run last).
+        # Inlines Radio.deliver: one function hop per reception matters at
+        # 1000 nodes where fan-out is the profile's top line.
+        frame = tx.frame
+        for radio in delivered:
+            radio.frames_received += 1
+            callback = radio._receive_callback
+            if callback is not None:
+                callback(frame)
 
     def _collided(
         self, overlapping: list[tuple[Radio, frozenset[int]]], receiver: Radio
@@ -510,17 +601,3 @@ class Channel:
                 return True
         return False
 
-    def _prune(self, now: int) -> None:
-        """Drop transmissions that can no longer overlap anything.
-
-        Transmissions are appended in start order, so expired ones form a
-        prefix and an incremental ``popleft`` loop replaces the old full-list
-        rebuild.  A finished frame only matters while a live frame's window can
-        still reach back to it, i.e. within the longest airtime seen; twice
-        that (capped by the legacy 1 s horizon) is kept as a safety margin.
-        """
-        margin = min(2 * self._max_airtime_us, self._PRUNE_AGE_US)
-        horizon = now - margin
-        transmissions = self._transmissions
-        while transmissions and transmissions[0].end < horizon:
-            transmissions.popleft()

@@ -86,6 +86,10 @@ class ScenarioRun:
             "wall_s": round(wall_s, 4),
             "events": net.sim.events_fired,
             "events_per_s": round(net.sim.events_fired / wall_s) if wall_s > 0 else 0,
+            # Simulated seconds per wall second: comparable across changes to
+            # what counts as "an event" (the run-slice engine fires O(slices),
+            # not O(instructions)), where events/s is not.
+            "sim_x_real": round(self.scenario.duration_s / wall_s, 1) if wall_s > 0 else 0,
             "frames": net.radio_messages(),
             "frames_per_s": round(net.radio_messages() / wall_s, 1) if wall_s > 0 else 0,
             "collisions": channel.collisions,

@@ -145,6 +145,13 @@ class Simulator:
         #: compare ints in C and never call back into Python.
         self._queue: list[tuple[int, int, EventHandle]] = []
         self._pending = 0
+        #: ``(time, seq)`` keys of pending events NOT marked ``benign`` at
+        #: scheduling time — the run-slice engine's interleaving guard reads
+        #: the minimum through :meth:`next_hazard_time`.  Entries are cleaned
+        #: lazily: anything at or below the last key popped from the main
+        #: queue has already fired (or was cancelled and skipped).
+        self._hazards: list[tuple[int, int]] = []
+        self._last_key: tuple[int, int] = (-1, -1)
         self._rngs: dict[str, random.Random] = {}
         self._running = False
         self._stopped = False
@@ -179,8 +186,19 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
-        """Schedule ``fn(*args)`` at absolute tick ``time``."""
+    def schedule_at(
+        self, time: int, fn: Callable[..., Any], *args: Any, benign: bool = False
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute tick ``time``.
+
+        ``benign`` asserts the callback cannot interact with another mote's
+        in-progress run-slice (it touches only its own scheduler's local
+        state, or shared state nothing batched ever reads): such events are
+        left out of the hazard horizon, so they do not suspend other motes'
+        instruction batches.  Anything that delivers frames, runs CPU task
+        handlers, fires timers, or mutates deployment state must stay
+        hazardous (the default).
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule in the past (now={self._now}, requested={time})"
@@ -191,13 +209,17 @@ class Simulator:
         handle = EventHandle(time, seq, fn, args, self)
         self._pending += 1
         heapq.heappush(self._queue, (time, seq, handle))
+        if not benign:
+            heapq.heappush(self._hazards, (time, seq))
         return handle
 
-    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def schedule(
+        self, delay: int, fn: Callable[..., Any], *args: Any, benign: bool = False
+    ) -> EventHandle:
         """Schedule ``fn(*args)`` after ``delay`` microseconds."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self._now + int(delay), fn, *args)
+        return self.schedule_at(self._now + int(delay), fn, *args, benign=benign)
 
     def call_now(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at the current tick (after pending peers)."""
@@ -226,6 +248,9 @@ class Simulator:
         self._pending += 1
         self.handle_reuses += 1
         heapq.heappush(self._queue, (time, seq, handle))
+        # Periodic chains (timers, beacons, dynamics ticks) mutate state
+        # batched instructions may read: always hazardous.
+        heapq.heappush(self._hazards, (time, seq))
         return handle
 
     def every(self, period: int, fn: Callable[..., Any], *args: Any) -> RecurringEvent:
@@ -270,8 +295,9 @@ class Simulator:
         """Fire the next pending event.  Returns False if the queue is empty."""
         queue = self._queue
         while queue:
-            time, _seq, event = heapq.heappop(queue)
+            time, seq, event = heapq.heappop(queue)
             event._popped = True
+            self._last_key = (time, seq)
             if event.cancelled:
                 continue
             self._pending -= 1
@@ -321,7 +347,9 @@ class Simulator:
                     return
                 entry = self._queue[0]
                 if entry[2].cancelled:
-                    heapq.heappop(self._queue)[2]._popped = True
+                    popped = heapq.heappop(self._queue)
+                    popped[2]._popped = True
+                    self._last_key = (popped[0], popped[1])
                     continue
                 if deadline is not None and entry[0] > deadline:
                     break
@@ -345,6 +373,34 @@ class Simulator:
     def stop(self) -> None:
         """Stop a ``run`` in progress after the current event returns."""
         self._stopped = True
+
+    def mark_hazard(self, handle: EventHandle) -> None:
+        """Re-classify an already-scheduled benign event as hazardous.
+
+        Used when later state changes mean a pending event's callback will
+        take a side-effecting path after all (e.g. a radio powering down
+        turns an armed carrier-sense retry into a send abort).
+        """
+        if not handle._popped and not handle.cancelled:
+            heapq.heappush(self._hazards, (handle.time, handle._seq))
+
+    def next_hazard_time(self) -> int | None:
+        """Earliest pending *hazardous* event time, or None if there is none.
+
+        The run-slice engine's interleaving guard: before executing another
+        instruction inside the current kernel event, the engine checks that
+        no hazardous event would have fired first — if one would, the batch
+        suspends and resumes as a normal event after it, keeping execution
+        order identical to the one-event-per-instruction engine.  Keys at or
+        below the last main-queue pop are already history and are discarded
+        lazily; cancelled-but-pending keys linger until their time passes,
+        which only makes the guard conservative, never wrong.
+        """
+        hazards = self._hazards
+        last = self._last_key
+        while hazards and hazards[0] <= last:
+            heapq.heappop(hazards)
+        return hazards[0][0] if hazards else None
 
     @property
     def pending_events(self) -> int:

@@ -35,17 +35,37 @@ class Cpu:
         """Convert a cycle count to integer microseconds (at least 1)."""
         return max(1, round(cycles / self._cycles_per_us))
 
-    def execute(self, cycles: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def execute(
+        self, cycles: int, fn: Callable[..., Any], *args: Any, benign: bool = False
+    ) -> EventHandle:
         """Run ``fn(*args)`` after the CPU spends ``cycles`` on this work.
 
         Work is serialized: if the CPU is still busy with earlier work the
-        new work starts when that finishes.
+        new work starts when that finishes.  ``benign`` is forwarded to the
+        kernel (see :meth:`Simulator.schedule_at`): only the Agilla engine's
+        own dispatch hops qualify.
         """
         start = max(self.sim.now, self.busy_until)
         finish = start + self.cycles_to_us(cycles)
         self.busy_until = finish
         self.cycles_executed += cycles
-        return self.sim.schedule_at(finish, fn, *args)
+        return self.sim.schedule_at(finish, fn, *args, benign=benign)
+
+    def charge(self, cycles: int) -> int:
+        """Account for work *without* scheduling a completion event.
+
+        Advances the busy horizon exactly as :meth:`execute` would — same
+        ``max(now, busy_until)`` start, same per-call microsecond rounding —
+        and returns it.  The Agilla run-slice engine uses this to charge each
+        instruction of a slice individually (so the CPU timeline is
+        bit-identical to one completion event per instruction) while posting
+        only one kernel event per slice.
+        """
+        start = max(self.sim.now, self.busy_until)
+        finish = start + self.cycles_to_us(cycles)
+        self.busy_until = finish
+        self.cycles_executed += cycles
+        return finish
 
     @property
     def idle(self) -> bool:
@@ -67,10 +87,12 @@ class TaskQueue:
         self.cpu = cpu
         self.tasks_posted = 0
 
-    def post(self, cycles: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def post(
+        self, cycles: int, fn: Callable[..., Any], *args: Any, benign: bool = False
+    ) -> EventHandle:
         """Post a task costing ``cycles``; it runs after earlier tasks."""
         self.tasks_posted += 1
-        return self.cpu.execute(cycles + self.DISPATCH_CYCLES, fn, *args)
+        return self.cpu.execute(cycles + self.DISPATCH_CYCLES, fn, *args, benign=benign)
 
     @property
     def sim(self) -> Simulator:

@@ -645,6 +645,109 @@ class TestStewardRedeploy:
         assert "stw" in names  # the clone stewards its own neighborhood now
 
 
+class TestStewardFlapDamping:
+    """The hold-down window: a flapping node must not draw a fresh
+    ``sclone`` on every recovery, yet one that finally stabilizes still
+    gets re-monitored (the deferred find fires at the window's end)."""
+
+    def _quiet_adaptive(self, hold_down_intervals):
+        from repro.agilla.params import AgillaParams
+
+        # beacons=False: no spontaneous discovery traffic, so find/defer
+        # accounting below is exactly the events this test injects.
+        return SensorNetwork(
+            GridTopology(2, 2),
+            seed=0,
+            base_station=False,
+            adaptive=True,
+            beacons=False,
+            beacon_period=seconds(2),
+            beacon_expiry_intervals=2,
+            params=AgillaParams(find_hold_down_intervals=hold_down_intervals),
+        )
+
+    def test_hold_down_defers_then_flushes_or_cancels(self):
+        net = self._quiet_adaptive(hold_down_intervals=5)  # 5 × 2 s = 10 s
+        node = net.node((1, 1))
+        context = node.middleware.context_manager
+        acq = node.beacons.acquaintances
+        assert context.find_hold_down == seconds(10)
+        finds_at_start = context.find_events
+
+        # A brand-new neighbor fires immediately (t = 0).
+        acq.update(99, Location(9, 9), net.sim.now)
+        assert context.find_events == finds_at_start + 1
+        # It goes dark, then flaps back inside the window (t = 7 s).
+        net.run(5.0)
+        acq.evict_stale(net.sim.now)
+        net.run(2.0)
+        acq.update(99, Location(9, 9), net.sim.now)
+        assert context.flap_deferrals == 1
+        assert context.find_events == finds_at_start + 1  # damped, not fired
+        # ...and stays up: the deferred find fires when the window expires.
+        net.run(5.0)  # past t = 10 s
+        assert context.deferred_finds_fired == 1
+        assert context.find_events == finds_at_start + 2
+        assert [t.fields[1].location for t in _tags_at(net, (1, 1), NEIGHBOR_FOUND_TAG)] == [
+            Location(9, 9)
+        ]
+
+        # Second flap cycle: deferred again (t ≈ 13 s), but this time the
+        # node dies before the window runs out — the pending find is moot.
+        net.run(3.0)
+        acq.evict_stale(net.sim.now)  # lost
+        acq.update(99, Location(9, 9), net.sim.now)  # found: deferred
+        assert context.flap_deferrals == 2
+        net.run(4.5)
+        acq.evict_stale(net.sim.now)  # dark again before t = 20 s
+        net.run(5.0)  # the flush finds nothing pending
+        assert context.deferred_finds_fired == 1
+        assert context.find_events == finds_at_start + 2
+
+    def test_flapping_node_draws_one_clone_per_window(self):
+        """The fail/recover/fail churn script, end to end: clone #1 lands
+        promptly, the quick re-flap is damped, and the eventual deferred
+        find re-monitors the (now stable) node exactly once."""
+        from repro.agilla.params import AgillaParams
+
+        net = _adaptive_grid(
+            2, 2, params=AgillaParams(find_hold_down_intervals=8)  # 16 s window
+        )
+        victim = (2, 1)  # a primed neighbor of the steward's node
+        net.run(6.0)
+        net.middleware((1, 1)).inject(steward())
+        net.run(1.0)
+        context = net.middleware((1, 1)).context_manager
+
+        def stewards_at(where):
+            return sum(agent.name == "stw" for agent in net.agents_at(where))
+
+        # Cycle 1: fail long enough to expire, recover → prompt clone.
+        net.fail_node(victim)
+        net.run(8.0)
+        assert Location(*victim) in [
+            t.fields[1].location for t in _tags_at(net, (1, 1), NEIGHBOR_LOST_TAG)
+        ]
+        net.recover_node(victim)
+        ok = net.run_until(lambda: stewards_at(victim) >= 1, timeout_s=20.0)
+        assert ok, "first recovery was not re-monitored"
+        deferrals_before = context.flap_deferrals
+
+        # Cycle 2, inside the hold-down: the recovery find is deferred, so
+        # no second clone chases the flap.
+        net.fail_node(victim)
+        net.run(8.0)
+        net.recover_node(victim)
+        net.run(3.0)
+        assert context.flap_deferrals > deferrals_before
+        assert stewards_at(victim) == 1  # damped: no immediate re-clone
+        # The node stays up past the window: the deferred find fires and the
+        # steward re-monitors it (exactly one more clone).
+        ok = net.run_until(lambda: stewards_at(victim) >= 2, timeout_s=25.0)
+        assert ok, "stabilized node was never re-monitored"
+        assert context.deferred_finds_fired >= 1
+
+
 # ----------------------------------------------------------------------
 # The scenario-level ablation, miniaturized for tier-1
 # ----------------------------------------------------------------------

@@ -172,6 +172,11 @@ class TestProfileSubcommand:
         report = (tmp_path / "profile_mini-profile.txt").read_text()
         assert "events_per_s" in report
         assert "handle_reuses" in report  # kernel stats ride along
+        # The one-line summary row: top-3 cumulative functions, greppable in
+        # PR diffs of the committed profile artifacts.
+        top_line = [line for line in report.splitlines() if line.startswith("top3: ")]
+        assert len(top_line) == 1
+        assert top_line[0].count(":") >= 3  # "top3:" plus module:function entries
 
 
 class TestCompareGate:
@@ -260,3 +265,63 @@ class TestCompareGate:
         good = self._write(tmp_path / "good.json", [{"case": "x", "events_per_s": 1}])
         with pytest.raises(ValueError):
             main(["compare", str(bad), good])
+
+
+class TestTrendTable:
+    def _write(self, path, rows):
+        import json
+
+        path.write_text(json.dumps({"experiment": "scale", "rows": rows}))
+        return str(path)
+
+    def test_sparkline_scales_and_marks_gaps(self):
+        from repro.bench.trend import sparkline
+
+        assert sparkline([1.0, 2.0, 3.0]) == "▁▄█"
+        assert sparkline([5.0, None, 5.0]) == "▄·▄"  # flat series, one gap
+        assert sparkline([None, None]) == "··"
+
+    def test_trend_lines_up_runs_and_reports_latest_delta(self, tmp_path, capsys):
+        week1 = self._write(
+            tmp_path / "w1.json",
+            [{"topology": "grid", "nodes": 25, "events_per_s": 1000}],
+        )
+        week2 = self._write(
+            tmp_path / "w2.json",
+            [
+                {"topology": "grid", "nodes": 25, "events_per_s": 1500},
+                {"topology": "grid", "nodes": 400, "events_per_s": 800},
+            ],
+        )
+        week3 = self._write(
+            tmp_path / "w3.json",
+            [
+                {"topology": "grid", "nodes": 25, "events_per_s": 1200},
+                {"topology": "grid", "nodes": 400, "events_per_s": 880},
+            ],
+        )
+        assert main(["trend", week1, week2, week3]) == 0
+        out = capsys.readouterr().out
+        assert "over 3 runs" in out
+        grid25 = next(line for line in out.splitlines() if line.startswith("grid/25"))
+        assert "1000" in grid25 and "1500" in grid25 and "1200" in grid25
+        assert "-20.0%" in grid25  # latest step: 1500 -> 1200
+        assert "▁█" in grid25.replace(" ", "")[-5:]  # the sparkline rides along
+        grid400 = next(line for line in out.splitlines() if line.startswith("grid/400"))
+        assert "+10.0%" in grid400
+        assert "·" in grid400  # absent from week 1: a gap, not an error
+
+    def test_trend_rejects_mixed_artifact_kinds(self, tmp_path):
+        scale = self._write(
+            tmp_path / "s.json", [{"topology": "grid", "nodes": 25, "events_per_s": 1}]
+        )
+        kernel = tmp_path / "k.json"
+        import json
+
+        kernel.write_text(
+            json.dumps(
+                {"experiment": "kernel", "rows": [{"case": "x", "events_per_s": 1}]}
+            )
+        )
+        with pytest.raises(ValueError):
+            main(["trend", scale, str(kernel)])

@@ -300,6 +300,166 @@ class TestAdaptiveConvergenceProperty:
 
 
 # ----------------------------------------------------------------------
+# Delivery path: cached/batched fan-out == the naive per-frame reference
+# ----------------------------------------------------------------------
+from repro.mote import Environment, Mote  # noqa: E402
+from repro.radio import Channel, Frame, UniformLossLinks  # noqa: E402
+from repro.sim.units import ms  # noqa: E402
+
+
+class _NaiveChannel(Channel):
+    """The pre-cache, pre-batching reference: every frame recomputes each
+    receiver's PRR from the link model, rediscovers its overlap set from a
+    full transmission log, and resolves reception inline, one receiver at a
+    time — the PR 3 delivery loop, verbatim in spirit."""
+
+    def begin_transmission(self, tx) -> None:
+        history = getattr(self, "_history", None)
+        if history is None:
+            history = self._history = []
+        history.append(tx)
+        super().begin_transmission(tx)
+
+    def end_transmission(self, tx) -> None:
+        self._on_air.remove(tx)
+        start, end = tx.start, tx.end
+        overlapping = None
+        for other in self._history:
+            if (
+                other is not tx
+                and other.radio is not tx.radio
+                and other.start < end
+                and other.end > start
+            ):
+                other_id = other.radio.mote.id
+                if other_id not in self._hearer_ids:
+                    self.hearers(other.radio)
+                if overlapping is None:
+                    overlapping = []
+                overlapping.append((other.radio, self._hearer_ids[other_id]))
+        tx_id = tx.radio.mote.id
+        tx_position = tx.radio.position
+        overrides = self.prr_overrides
+        link_prr = self._link_model.prr
+        random = self.rng.random
+        for radio in self.hearers(tx.radio):
+            if not radio._enabled:
+                continue
+            receiver_tx = radio._current_tx
+            if receiver_tx is not None and receiver_tx.start < end and receiver_tx.end > start:
+                continue
+            if overlapping is not None and self._collided(overlapping, radio):
+                self.collisions += 1
+                continue
+            prr = overrides.get((tx_id, radio.mote.id)) if overrides else None
+            if prr is None:
+                prr = link_prr(tx_position, radio.position)
+            if random() >= prr:
+                self.prr_drops += 1
+                continue
+            radio.deliver(tx.frame)
+
+
+_N_RADIOS = 6
+_PRR_CHOICES = (0.0, 0.4, 1.0)
+
+delivery_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("send"), st.integers(0, _N_RADIOS - 1), st.integers(0, 255)),
+        st.tuples(
+            st.just("move"),
+            st.integers(0, _N_RADIOS - 1),
+            st.integers(0, 8),
+            st.integers(0, 8),
+        ),
+        st.tuples(st.just("detach"), st.integers(0, _N_RADIOS - 1)),
+        st.tuples(
+            st.just("override"),
+            st.integers(0, _N_RADIOS - 1),
+            st.integers(0, _N_RADIOS - 1),
+            st.integers(0, len(_PRR_CHOICES) - 1),
+        ),
+        st.tuples(
+            st.just("clear"), st.integers(0, _N_RADIOS - 1), st.integers(0, _N_RADIOS - 1)
+        ),
+        st.tuples(st.just("run"), st.integers(1, 60)),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestDeliveryEquivalenceProperty:
+    """PR 5's acceptance property, mirroring PR 2's incremental-index proof:
+    under *any* interleaving of sends, moves, detaches, and PRR-override
+    churn, the memoized-cache + batched-fan-out delivery path produces the
+    same frames at the same receivers — frame for frame, drop for drop —
+    as a naive reference that rederives every link decision per frame."""
+
+    def _deploy(self, channel_cls, seed):
+        sim = Simulator(seed=seed)
+        channel = channel_cls(
+            sim, UniformLossLinks(prr=0.8, range_m=3.5), grid_spacing_m=1.0
+        )
+        log: list[tuple[int, int, bytes]] = []
+        radios = []
+        for index in range(_N_RADIOS):
+            mote = Mote(sim, index + 1, Location(index % 3, index // 3), Environment())
+            radio = channel.attach(mote)
+            radio.set_receive_callback(
+                lambda frame, me=index: log.append((me, frame.src, frame.payload))
+            )
+            radios.append(radio)
+        return sim, channel, radios, log
+
+    def _drive(self, channel_cls, operations, seed):
+        sim, channel, radios, log = self._deploy(channel_cls, seed)
+        detached: set[int] = set()
+        for op in operations:
+            kind, *args = op
+            if kind == "send":
+                index, payload = args
+                radio = radios[index]
+                if index in detached or radio.sending:
+                    continue
+                radio.send(Frame(index + 1, 0xFFFF, 0x10, bytes([payload])))
+            elif kind == "move":
+                index, x, y = args
+                if index in detached:
+                    continue
+                channel.move(index + 1, (float(x), float(y)))
+            elif kind == "detach":
+                (index,) = args
+                if index in detached:
+                    continue
+                detached.add(index)
+                channel.detach(index + 1)
+            elif kind == "override":
+                src, dst, choice = args
+                channel.prr_overrides[(src + 1, dst + 1)] = _PRR_CHOICES[choice]
+            elif kind == "clear":
+                src, dst = args
+                channel.prr_overrides.pop((src + 1, dst + 1), None)
+            else:
+                sim.run(duration=ms(args[0]))
+        sim.run_until_idle()
+        return (
+            log,
+            channel.frames_transmitted,
+            channel.prr_drops,
+            channel.collisions,
+            channel.mac_giveups,
+        )
+
+    @given(delivery_ops, st.integers(0, 7))
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_cached_batched_delivery_matches_naive_reference(self, operations, seed):
+        optimized = self._drive(Channel, operations, seed)
+        reference = self._drive(_NaiveChannel, operations, seed)
+        assert optimized == reference
+
+
+# ----------------------------------------------------------------------
 # Event kernel determinism
 # ----------------------------------------------------------------------
 class TestKernelProperties:

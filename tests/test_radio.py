@@ -211,3 +211,98 @@ class TestChannel:
         assert radio_a.frames_sent == 1
         assert radio_b.frames_received == 1
         assert radio_a.bytes_sent > 0
+
+
+class TestLinkCache:
+    """The memoized per-pair PRR cache behind the delivery hot path."""
+
+    def _pair(self, link_model=None, seed=0):
+        sim = Simulator(seed=seed)
+        channel = Channel(sim, link_model or PerfectLinks(), grid_spacing_m=1.0)
+        a = make_mote(sim, 1, 1, 1)
+        b = make_mote(sim, 2, 2, 1)
+        return sim, channel, channel.attach(a), channel.attach(b)
+
+    def test_repeat_deliveries_hit_the_cache(self):
+        sim, channel, radio_a, radio_b = self._pair()
+        radio_b.set_receive_callback(lambda f: None)
+        for _ in range(5):
+            radio_a.send(Frame(1, 2, 0x10, b"x"))
+            sim.run_until_idle()
+        cache = channel.link_cache
+        assert cache.cache_misses == 1  # first delivery computed the PRR
+        assert cache.cache_hits == 4  # the rest reused it
+        assert len(cache) == 1
+
+    def test_cached_prr_matches_the_model(self):
+        sim, channel, radio_a, radio_b = self._pair(UniformLossLinks(prr=0.7))
+        radio_b.set_receive_callback(lambda f: None)
+        for _ in range(3):
+            radio_a.send(Frame(1, 2, 0x10, b"x"))
+            sim.run_until_idle()
+        assert channel.link_cache.row(1)[2] == 0.7
+
+    def test_override_installed_mid_flight_applies_to_next_delivery(self):
+        """Regression: ``prr_overrides`` set *after* a frame is already on
+        the air must still decide that frame's reception — the override path
+        bypasses the warm LinkCache entirely and bumps ``prr_drops``."""
+        sim, channel, radio_a, radio_b = self._pair()
+        got = []
+        radio_b.set_receive_callback(got.append)
+        # Warm the cache with a successful delivery at PRR 1.0.
+        radio_a.send(Frame(1, 2, 0x10, b"warm"))
+        sim.run_until_idle()
+        assert got and channel.prr_drops == 0
+        hits_before = channel.link_cache.cache_hits
+        misses_before = channel.link_cache.cache_misses
+        # Put the next frame on the air, then break the link mid-flight.
+        radio_a.send(Frame(1, 2, 0x10, b"doomed"))
+        sim.run(duration=ms(1))  # backoff + TX begin; end-of-frame is ahead
+        channel.prr_overrides[(1, 2)] = 0.0
+        sim.run_until_idle()
+        assert len(got) == 1  # the in-flight frame was dropped
+        assert channel.prr_drops == 1
+        # The decision came from the override, not the cache.
+        assert channel.link_cache.cache_hits == hits_before
+        assert channel.link_cache.cache_misses == misses_before
+        # Clearing the override re-exposes the cached PRR (1.0): delivery.
+        del channel.prr_overrides[(1, 2)]
+        radio_a.send(Frame(1, 2, 0x10, b"again"))
+        sim.run_until_idle()
+        assert len(got) == 2
+        assert channel.link_cache.cache_hits == hits_before + 1
+
+    def test_move_invalidates_only_the_movers_pairs(self):
+        sim = Simulator()
+        channel = Channel(sim, PerfectLinks(range_m=10.0), grid_spacing_m=1.0)
+        radios = [channel.attach(make_mote(sim, i, i, 1)) for i in range(1, 4)]
+        for radio in radios:
+            radio.set_receive_callback(lambda f: None)
+        radios[0].send(Frame(1, BROADCAST_ID, 0x10, b"b"))
+        radios[1].send(Frame(2, BROADCAST_ID, 0x10, b"b"))
+        sim.run_until_idle()
+        cache = channel.link_cache
+        assert len(cache) == 4  # 1->{2,3}, 2->{1,3}
+        invalidations_before = cache.cache_invalidations
+        channel.move(3, (5.0, 5.0))
+        assert cache.cache_invalidations == invalidations_before + 1
+        # Pairs involving mote 3 are gone; the 1<->2 pairs survived.
+        assert set(cache.row(1)) == {2}
+        assert set(cache.row(2)) == {1}
+        # Re-delivery after the move recomputes at the new geometry.
+        misses_before = cache.cache_misses
+        radios[0].send(Frame(1, BROADCAST_ID, 0x10, b"b"))
+        sim.run_until_idle()
+        assert cache.cache_misses == misses_before + 1  # 1->3 refilled
+
+    def test_detach_and_model_swap_invalidate(self):
+        sim, channel, radio_a, radio_b = self._pair()
+        radio_b.set_receive_callback(lambda f: None)
+        radio_a.send(Frame(1, 2, 0x10, b"x"))
+        sim.run_until_idle()
+        assert len(channel.link_cache) == 1
+        channel.detach(2)
+        assert len(channel.link_cache) == 0
+        version_before = channel.link_cache.version
+        channel.link_model = PerfectLinks(range_m=5.0)
+        assert channel.link_cache.version == version_before + 1

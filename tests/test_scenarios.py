@@ -93,9 +93,15 @@ class TestStaticParity:
     }
     # Golden counters from PR 1's scale sweep path (scale.run_one("grid", 25,
     # seed=0, duration_s=20)).  If these move, static behaviour changed.
-    GOLDEN_EVENTS = 10558
+    # GOLDEN_EVENTS was re-pinned (10558 -> 7745) for PR 5's run-slice
+    # engine, which posts O(slices) instead of O(instructions) kernel
+    # events; frames, drops, instructions, and coverage are the original
+    # capture's, proving the delivery and CPU timelines did not move.
+    GOLDEN_EVENTS = 7745
     GOLDEN_FRAMES = 1385
     GOLDEN_COVERAGE = 21
+    GOLDEN_PRR_DROPS = 527
+    GOLDEN_INSTRUCTIONS = 1819
 
     def test_static_scenario_matches_scale_run_one(self):
         from repro.bench import scale
@@ -107,12 +113,22 @@ class TestStaticParity:
         assert via_scenario["coverage"] == direct["coverage"]
 
     def test_static_scenario_matches_golden_counters(self):
-        result = Scenario.from_spec(self.PARITY_SPEC).run()
+        run = Scenario.from_spec(self.PARITY_SPEC).build()
+        result = run.run()
         assert result["events"] == self.GOLDEN_EVENTS
         assert result["frames"] == self.GOLDEN_FRAMES
         assert result["coverage"] == self.GOLDEN_COVERAGE
         assert result["moves"] == 0
         assert result["index_rebuilds"] == 0
+        # PR 5's delivery cache and run-slice engine must not move a single
+        # loss draw or executed instruction on the committed baseline.
+        net = run.net
+        assert net.channel.prr_drops == self.GOLDEN_PRR_DROPS
+        assert (
+            sum(n.middleware.engine.instructions_executed for n in net.all_nodes())
+            == self.GOLDEN_INSTRUCTIONS
+        )
+        assert net.channel.link_cache.cache_hits > net.channel.link_cache.cache_misses
 
     def test_static_run_with_expiry_enabled_is_bit_identical(self):
         """PR 4's golden: beacon-driven expiry is *always* armed, and on a

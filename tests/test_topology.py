@@ -171,7 +171,12 @@ def _fixed_seed_run(net) -> tuple[int, int, int]:
 class TestSeedNetworkParity:
     #: Captured from the pre-refactor GridNetwork (default 5x5, lossy links,
     #: beacons on) — (radio_messages, events_fired, radio_bytes) per seed.
-    GOLDEN = {0: (96, 487, 3557), 3: (93, 502, 3354), 7: (78, 437, 2730)}
+    #: The frame and byte counts are untouched since the seed capture; the
+    #: event counts were re-pinned for PR 5's run-slice engine, which by
+    #: design posts O(slices) instead of O(instructions) kernel events
+    #: (frame/byte identity across that change is what proves the CPU
+    #: timeline didn't move).
+    GOLDEN = {0: (96, 481, 3557), 3: (93, 496, 3354), 7: (78, 431, 2730)}
 
     @pytest.mark.parametrize("seed", sorted(GOLDEN))
     def test_grid_network_bit_for_bit(self, seed):
@@ -189,8 +194,10 @@ class TestSeedNetworkParity:
         )
         net.inject(assemble("pushloc 4 1\nsmove\nwait", name="phy"), at=(1, 1))
         net.run(30.0)
+        # Event count re-pinned for the PR 5 run-slice engine; frames/bytes
+        # are the seed capture's.
         assert (net.radio_messages(), net.sim.events_fired, net.radio_bytes()) == (
-            28, 116, 984,
+            28, 114, 984,
         )
 
 
@@ -339,7 +346,10 @@ class TestChannelNeighborIndex:
         assert got == []
         assert channel.collisions == 1
 
-    def test_prune_keeps_transmission_log_bounded(self):
+    def test_finished_transmissions_are_not_retained(self):
+        """The channel keeps no transmission history: overlap sets are built
+        while frames share the air, so a long run leaves the on-air list
+        empty and serialized frames never accumulate overlap references."""
         sim = Simulator()
         channel = Channel(sim, UniformLossLinks())
         a = channel.attach(make_mote(sim, 1, 1, 1))
@@ -348,4 +358,4 @@ class TestChannelNeighborIndex:
         for _ in range(200):
             a.send(Frame(1, 2, 0x10, b"x"))
             sim.run_until_idle()
-        assert len(channel._transmissions) < 10
+        assert channel._on_air == []
