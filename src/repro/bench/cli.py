@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench all --runs 50 --out results/
     python -m repro.bench scale --nodes 25,400,1000
     python -m repro.bench kernel --out results/
+    python -m repro.bench fanout --nodes 100,400,1000 --out results/
     python -m repro.bench profile mobile-flood-400 --top 25
     python -m repro.bench compare results/BENCH_scale.json new/BENCH_scale.json
     python -m repro.bench trend week1/BENCH_scale.json week2/... week3/...
@@ -23,6 +24,7 @@ from repro.bench import (
     ablations,
     claims,
     compare,
+    fanout,
     figures,
     mate_compare,
     memory_report,
@@ -102,6 +104,19 @@ def _scale(args) -> list[Table]:
     ]
 
 
+def _fanout(args) -> list[Table]:
+    json_path = (
+        os.path.join(args.out, "BENCH_fanout.json") if args.out else "BENCH_fanout.json"
+    )
+    return [
+        fanout.run_fanout_bench(
+            json_path=json_path,
+            node_counts=args.nodes,
+            seed=args.seed if args.seed is not None else 0,
+        )
+    ]
+
+
 def _kernel(args) -> list[Table]:
     json_path = (
         os.path.join(args.out, "BENCH_kernel.json") if args.out else "BENCH_kernel.json"
@@ -170,6 +185,7 @@ EXPERIMENTS = {
     "scale": _scale,
     "scenario": _scenario,
     "kernel": _kernel,
+    "fanout": _fanout,
 }
 
 
@@ -236,16 +252,16 @@ def main(argv: list[str] | None = None) -> int:
     # The scenario sweep and kernel battery need to distinguish "flag
     # omitted" (None: keep their own defaults) from an explicit override;
     # resolve the shared defaults for everything else here.
-    if args.experiment not in ("scenario", "kernel"):
+    if args.experiment not in ("scenario", "kernel", "fanout"):
         if args.seed is None:
             args.seed = 0
         if args.duration is None:
             args.duration = scale.DEFAULT_DURATION_S
 
     if args.experiment == "all":
-        # fig9 emits fig10 too; the scale/scenario sweeps and the kernel
-        # micro-bench are their own, post-paper runs.
-        names = sorted(set(EXPERIMENTS) - {"fig10", "scale", "scenario", "kernel"})
+        # fig9 emits fig10 too; the scale/scenario sweeps and the kernel and
+        # fan-out micro-benches are their own, post-paper runs.
+        names = sorted(set(EXPERIMENTS) - {"fig10", "scale", "scenario", "kernel", "fanout"})
     else:
         names = [args.experiment]
 

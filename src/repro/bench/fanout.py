@@ -1,0 +1,164 @@
+"""The fan-out micro-benchmark: pure ``end_transmission`` throughput.
+
+PR 6 vectorized the delivery fan-out — per-node state in the
+:class:`~repro.radio.field.RadioField` arrays, one RNG vector draw per frame
+— and this bench pins the win where it lives, stripped of MAC, protocol, and
+kernel noise.  Each cell deploys N radios on a grid whose spacing targets a
+mean audience (sparse ≈ the builtin scenarios' degree, mid ≈ a dense patch,
+dense = everyone hears everyone), then hammers one hub transmitter's
+``begin_transmission``/``end_transmission`` pair and reports fan-outs/s.
+
+Every cell is measured twice: on the default (vectorized above
+``VECTOR_FANOUT_MIN``) path and again with the threshold forced unreachable
+(pure scalar loop).  Both consume the RNG stream identically, so the two
+runs decide the *same* deliveries — the ``speedup`` column is a controlled
+experiment, and the committed ``results/BENCH_fanout.json`` rows gate under
+``bench compare --max-drop`` on the default path's ``events_per_s``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+from repro.bench.reporting import Table, peak_rss_kb
+from repro.location import Location
+from repro.mote import Environment, Mote
+from repro.radio import Channel, Frame, Transmission, UniformLossLinks
+from repro.sim.kernel import Simulator
+
+#: Radio range for every cell (the MICA2 figure the scenarios use).
+RANGE_M = 100.0
+
+#: Density labels → target mean audience of the hub transmitter.  ``None``
+#: means all-in-range: spacing shrinks until the whole field hears the hub.
+DENSITIES: dict[str, int | None] = {"sparse": 8, "mid": 64, "dense": None}
+
+DEFAULT_NODE_COUNTS = (100, 400, 1000)
+
+
+def _spacing_for(target_audience: int | None, nodes: int) -> float:
+    """Grid spacing (m) that puts ~``target_audience`` nodes inside range.
+
+    A node in an infinite grid of spacing ``s`` has ~``π·R²/s²`` neighbors
+    within range R, so ``s = R·sqrt(π/(target+1))``.  All-in-range cells
+    instead pack the whole field into a square whose diagonal fits R.
+    """
+    if target_audience is None:
+        side = max(1, math.ceil(math.sqrt(nodes)))
+        return (RANGE_M * 0.95) / (side * math.sqrt(2.0))
+    return RANGE_M * math.sqrt(math.pi / (target_audience + 1))
+
+
+def _deploy(nodes: int, spacing_m: float, seed: int) -> tuple[Channel, "object"]:
+    sim = Simulator(seed=seed)
+    channel = Channel(sim, UniformLossLinks(range_m=RANGE_M), grid_spacing_m=1.0)
+    side = max(1, math.ceil(math.sqrt(nodes)))
+    hub = None
+    center = side // 2
+    for index in range(nodes):
+        x, y = index % side, index // side
+        mote = Mote(sim, index + 1, Location(x, y), Environment())
+        radio = channel.attach(mote, (x * spacing_m, y * spacing_m))
+        if (x, y) == (center, center):
+            hub = radio
+    assert hub is not None
+    return channel, hub
+
+
+def _time_fanouts(channel: Channel, hub, reps: int) -> tuple[float, int]:
+    """Drive ``reps`` full fan-outs from the hub; return (wall s, receptions).
+
+    The transmission is placed on the air directly — no CSMA, no payload
+    handlers — so the measurement isolates the reception decision: hearer
+    lookup, eligibility, PRR resolution, loss draws, and the counter hand-off.
+    """
+    sim = channel.sim
+    frame = Frame(hub.mote.id, 0xFFFF, 0x10, b"bench")
+    airtime = channel.airtime_us(frame)
+    received_before = sum(radio.frames_received for radio in channel.radios)
+    tx = Transmission(hub, frame, sim.now, sim.now + airtime)
+    begin, end = channel.begin_transmission, channel.end_transmission
+    started = time.perf_counter()
+    for _ in range(reps):
+        begin(tx)
+        end(tx)
+    wall = time.perf_counter() - started
+    receptions = sum(radio.frames_received for radio in channel.radios) - received_before
+    return wall, receptions
+
+
+def run_one(nodes: int, density: str, seed: int = 0, reps: int | None = None) -> dict:
+    """One sweep cell, measured on the vector path and the forced-scalar path."""
+    spacing = _spacing_for(DENSITIES[density], nodes)
+    channel, hub = _deploy(nodes, spacing, seed)
+    audience = len(channel.hearers(hub))
+    if reps is None:
+        # Size each cell to a comparable amount of per-receiver work.
+        reps = max(60, 240_000 // max(1, audience))
+    _time_fanouts(channel, hub, 5)  # warm the link cache and hearer slots
+    vector_wall, receptions = _time_fanouts(channel, hub, reps)
+
+    scalar_channel, scalar_hub = _deploy(nodes, spacing, seed)
+    scalar_channel.vector_fanout_min = nodes + 1  # unreachable: scalar always
+    _time_fanouts(scalar_channel, scalar_hub, 5)
+    scalar_wall, _ = _time_fanouts(scalar_channel, scalar_hub, reps)
+
+    return {
+        "case": f"{nodes}n-{density}",
+        "nodes": nodes,
+        "density": density,
+        "mean_hearers": audience,
+        "reps": reps,
+        "receptions": receptions,
+        "wall_s": round(vector_wall, 4),
+        "events_per_s": round(reps / vector_wall) if vector_wall > 0 else 0,
+        "scalar_wall_s": round(scalar_wall, 4),
+        "scalar_events_per_s": round(reps / scalar_wall) if scalar_wall > 0 else 0,
+        "speedup": round(scalar_wall / vector_wall, 2) if vector_wall > 0 else 0.0,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def run_fanout_bench(
+    json_path: str | None = "BENCH_fanout.json",
+    *,
+    node_counts: tuple[int, ...] = DEFAULT_NODE_COUNTS,
+    seed: int = 0,
+) -> Table:
+    """The nodes × density fan-out sweep; writes ``BENCH_fanout.json``."""
+    rows = [
+        run_one(nodes, density, seed=seed)
+        for nodes in node_counts
+        for density in DENSITIES
+    ]
+    table = Table(
+        "fanout",
+        "delivery fan-out micro-benchmark (pure end_transmission throughput)",
+        ["case", "hearers", "fanouts/s", "scalar f/s", "speedup", "receptions"],
+    )
+    for row in rows:
+        table.add_row(
+            row["case"],
+            row["mean_hearers"],
+            row["events_per_s"],
+            row["scalar_events_per_s"],
+            row["speedup"],
+            row["receptions"],
+        )
+    table.add_note(
+        "fanouts/s = default (vectorized) path; scalar f/s = the same cell "
+        "with vector_fanout_min forced unreachable; both decide identical "
+        "deliveries from the same RNG stream"
+    )
+    if json_path:
+        payload = {"experiment": "fanout", "seed": seed, "rows": rows}
+        directory = os.path.dirname(json_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        table.add_note(f"raw data saved to {json_path}")
+    return table

@@ -34,12 +34,22 @@ from repro.topology import (
 
 DEFAULT_NODE_COUNTS = (25, 100, 400)
 DEFAULT_TOPOLOGIES = ("grid", "random", "clustered")
-TOPOLOGY_KINDS = ("grid", "line", "random", "clustered")
+TOPOLOGY_KINDS = ("grid", "line", "random", "clustered", "dense")
 DEFAULT_DURATION_S = 60.0
 
 #: Physical spacing per topology kind, chosen so one hop is comfortably
 #: within the MICA2's 100 m range while non-neighbors mostly are not.
-_SPACING_M = {"grid": 60.0, "line": 60.0, "random": 45.0, "clustered": 40.0}
+#: ``dense`` is the exception on purpose: a grid packed tight enough
+#: (~22 m) that every transmitter reaches ~60 hearers, putting the whole
+#: run on the channel's vectorized fan-out path — the ``sim_x_real`` cell
+#: for the PR 6 perf claim (``--topologies dense --nodes 1000``).
+_SPACING_M = {
+    "grid": 60.0,
+    "line": 60.0,
+    "random": 45.0,
+    "clustered": 40.0,
+    "dense": 22.0,
+}
 
 
 def _grid_dims(count: int) -> tuple[int, int]:
@@ -59,7 +69,7 @@ def _grid_dims(count: int) -> tuple[int, int]:
 def make_topology(kind: str, count: int, seed: int) -> Topology:
     """A topology of the requested kind with ``count`` nodes, or as close as
     the generator's shape allows; the sweep reports the actual node count."""
-    if kind == "grid":
+    if kind in ("grid", "dense"):
         return GridTopology(*_grid_dims(count))
     if kind == "line":
         return LineTopology(count)

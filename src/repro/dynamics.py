@@ -371,11 +371,23 @@ class DeploymentDynamics:
     def _field_bounds(self, field: Sequence[Location]) -> Bounds:
         if not field:
             return (0.0, 0.0, 0.0, 0.0)
-        positions = [self.net.position_of(location) for location in field]
-        xs = [p[0] for p in positions]
-        ys = [p[1] for p in positions]
-        pad = self.net.channel.grid_spacing_m  # one grid unit of slack
-        return (min(xs) - pad, min(ys) - pad, max(xs) + pad, max(ys) + pad)
+        # One gather + four reductions over the radio field's position arrays
+        # instead of a tuple per node.  min/max over float64 is exact and the
+        # arrays mirror the very values position_of would return, so the
+        # bounds — which feed the waypoint RNG draws — are bit-identical.
+        net = self.net
+        radio_field = net.field
+        slot_of = radio_field.slot_of
+        mote_id = net.topology.mote_id
+        slots = [slot_of[mote_id(location)] for location in field]
+        gathered = radio_field.positions[slots]
+        pad = net.channel.grid_spacing_m  # one grid unit of slack
+        return (
+            float(gathered[:, 0].min()) - pad,
+            float(gathered[:, 1].min()) - pad,
+            float(gathered[:, 0].max()) + pad,
+            float(gathered[:, 1].max()) + pad,
+        )
 
     def _select_mobile(self, field, mobile) -> list[Location]:
         if self.mobility is None or isinstance(self.mobility, StaticMobility):

@@ -1,8 +1,18 @@
 """CC1000 radio model: frames, link models, CSMA broadcast channel."""
 
-from repro.radio.channel import EFFECTIVE_BITRATE, Channel, MacParams, Radio, Transmission
+from repro.radio._np import NUMPY_FLOOR
+from repro.radio.channel import (
+    EFFECTIVE_BITRATE,
+    VECTOR_FANOUT_MIN,
+    Channel,
+    MacParams,
+    Radio,
+    Transmission,
+)
+from repro.radio.field import RadioField
 from repro.radio.frame import FRAME_OVERHEAD_BYTES, MAX_PAYLOAD, Frame
 from repro.radio.linkcache import LinkCache
+from repro.radio.rngshim import CompatRng
 from repro.radio.linkmodels import (
     DEFAULT_PRR,
     MICA2_RANGE_M,
@@ -14,10 +24,14 @@ from repro.radio.linkmodels import (
 
 __all__ = [
     "EFFECTIVE_BITRATE",
+    "VECTOR_FANOUT_MIN",
+    "NUMPY_FLOOR",
     "Channel",
     "MacParams",
     "Radio",
     "Transmission",
+    "RadioField",
+    "CompatRng",
     "FRAME_OVERHEAD_BYTES",
     "MAX_PAYLOAD",
     "Frame",

@@ -14,6 +14,15 @@ Reception is decided per receiver at end-of-frame:
   corrupts it (collision);
 * otherwise an independent Bernoulli draw with the link's PRR (optionally
   overridden per mote pair for failure injection) decides delivery.
+
+Above :data:`VECTOR_FANOUT_MIN` hearers the whole reception decision runs
+*vectorized*: per-receiver state comes from the :class:`RadioField` arrays
+(fancy-indexed by cached hearer slots), eligibility and collisions are
+boolean masks, PRRs come from the link cache's dense row vector, and all
+loss draws collapse into one ``rng.random_vector(n)`` call.  The
+:class:`~repro.radio.rngshim.CompatRng` stream shim guarantees that vector
+draw consumes the MT19937 stream exactly like the scalar per-receiver loop,
+so fixed-seed runs are bit-identical whichever path a frame takes.
 """
 
 from __future__ import annotations
@@ -24,13 +33,25 @@ from typing import Callable
 
 from repro.errors import RadioError
 from repro.mote.mote import Mote
+from repro.radio._np import np
+from repro.radio.field import RadioField
 from repro.radio.frame import Frame
 from repro.radio.linkcache import LinkCache
 from repro.radio.linkmodels import LinkModel, Position, UniformLossLinks
+from repro.radio.rngshim import CompatRng
 from repro.sim.kernel import Simulator
 
 #: CC1000 effective data rate after Manchester encoding (bits/second).
 EFFECTIVE_BITRATE = 19_200
+
+#: Audience size at which :meth:`Channel.end_transmission` switches from the
+#: scalar per-receiver loop to the vectorized field pass.  Both paths consume
+#: the RNG stream identically, so this is purely a throughput knob: numpy's
+#: per-call overhead (~8 array ops + one vector draw) only amortizes once the
+#: fan-out is wide enough.  Measured break-even is ~35 hearers (warm cache,
+#: ``bench fanout`` methodology); 32 keeps sparse scenarios (degree ≲ 25) on
+#: the scalar loop while dense fields get the 2–3× array pass.
+VECTOR_FANOUT_MIN = 32
 
 
 @dataclass
@@ -72,6 +93,7 @@ class Radio:
         self._send_pending = False
         self._pending_carrier_sense = None  # EventHandle of the armed backoff
         self._attach_seq = 0  # set by Channel.attach; orders hearer lists
+        self._slot: int | None = None  # RadioField slot; None once detached
         # Statistics used by the benchmarks.
         self.frames_sent = 0
         self.frames_received = 0
@@ -89,6 +111,8 @@ class Radio:
         if up == self._enabled:
             return
         self._enabled = up
+        if self._slot is not None:
+            self.channel.field.set_enabled(self._slot, up)
         if not up and self._send_pending and self._pending_carrier_sense is not None:
             # The armed backoff will now abort the send (completion callbacks
             # touch protocol and scheduling state): it is no longer benign to
@@ -165,6 +189,8 @@ class Radio:
         airtime = self.channel.airtime_us(frame)
         tx = Transmission(self, frame, self.sim.now, self.sim.now + airtime)
         self._current_tx = tx
+        if self._slot is not None:
+            self.channel.field.begin_tx(self._slot, tx.start, tx.end)
         self.frames_sent += 1
         self.bytes_sent += frame.air_bytes
         self.channel.begin_transmission(tx)
@@ -172,6 +198,8 @@ class Radio:
 
     def _end_tx(self, tx: Transmission, on_done: Callable[[bool], None] | None) -> None:
         self._current_tx = None
+        if self._slot is not None:
+            self.channel.field.end_tx(self._slot)
         self.channel.end_transmission(tx)
         self._finish_send(on_done, True)
 
@@ -233,20 +261,33 @@ class Channel:
         #: Physical meters per grid unit.  The paper's testbed is a tabletop:
         #: motes centimeters apart, all within radio range of each other.
         self.grid_spacing_m = grid_spacing_m
-        self.rng = sim.rng("channel")
+        #: The channel's RNG stream.  Seeded exactly like the stdlib stream
+        #: ``sim.rng("channel")`` used to be, but served by the numpy-backed
+        #: :class:`CompatRng` so the delivery fan-out can draw all Bernoulli
+        #: outcomes in one vector call without perturbing the word sequence.
+        self.rng = CompatRng(f"{sim.seed}/channel")
         self._radios: dict[int, Radio] = {}
         self._attach_counter = 0
+        #: Contiguous per-radio state (positions, power, tx intervals) for
+        #: the vectorized fan-out, mirrored through the same hooks that
+        #: maintain the hearer index (see :mod:`repro.radio.field`).
+        self.field = RadioField()
         #: The handful of transmissions currently on the air: what carrier
         #: sense scans, and the source of each new frame's overlap set.
         self._on_air: list[Transmission] = []
         # Hearer index: mote id -> radios in range of that transmitter, in
-        # attach order (kept as list for iteration plus id-set for membership).
+        # attach order (kept as list for iteration plus id-set for membership
+        # plus, lazily, field-slot array for the vectorized fan-out).
         self._hearers: dict[int, list[Radio]] = {}
         self._hearer_ids: dict[int, frozenset[int]] = {}
+        self._hearer_slots: dict[int, "np.ndarray"] = {}
         self._cells: dict[tuple[int, int], list[Radio]] | None = None
         self._cell_size: float = 0.0
+        #: Fan-out width at which delivery switches to the vectorized pass.
+        #: Tunable per channel (benchmarks force both paths with it).
+        self.vector_fanout_min = VECTOR_FANOUT_MIN
         #: Memoized per-pair PRRs (see :mod:`repro.radio.linkcache`).
-        self.link_cache = LinkCache(self._link_model)
+        self.link_cache = LinkCache(self._link_model, self.field)
         #: Per (src mote id, dst mote id) PRR override for failure injection.
         #: Consulted *before* the link cache on every delivery, so an override
         #: installed while frames are already in flight still applies to the
@@ -288,6 +329,7 @@ class Channel:
         radio._attach_seq = self._attach_counter
         self._attach_counter += 1
         self._radios[mote.id] = radio
+        radio._slot = self.field.allocate(mote.id, position)
         mote.radio = radio
         # A re-used mote id (detach then re-attach) must not inherit the
         # departed radio's cached link quality.
@@ -303,11 +345,13 @@ class Channel:
         self.full_invalidations += 1
         self._hearers.clear()
         self._hearer_ids.clear()
+        self._hearer_slots.clear()
         self._cells = None
 
     def _drop_cached(self, mote_id: int) -> None:
         self._hearers.pop(mote_id, None)
         self._hearer_ids.pop(mote_id, None)
+        self._hearer_slots.pop(mote_id, None)
 
     def _drop_cached_near(self, position: Position) -> None:
         """Drop the cached hearer lists of every radio within one cell of
@@ -338,6 +382,9 @@ class Channel:
         # the cached PRR pairs it participates in, whatever happens to the
         # spatial hash below.
         self.link_cache.invalidate(mote_id)
+        # The field mirror only feeds end-of-frame reads, so one write up
+        # front covers every branch below (attached radios always hold a slot).
+        self.field.set_position(radio._slot, position)
         if self._cells is None:
             radio.position = position  # index not built yet: nothing to re-key
             return
@@ -387,6 +434,10 @@ class Channel:
                     if not bucket:
                         del self._cells[cell]
         self._drop_cached(mote_id)
+        # Free the field slot last: the ``enabled`` setter above still wrote
+        # through it.  The released slot reads disabled/idle until reused.
+        self.field.release(mote_id)
+        radio._slot = None
         return radio
 
     def _ensure_cells(self) -> None:
@@ -498,24 +549,37 @@ class Channel:
 
         Only the transmitter's cached hearer list is visited — O(degree) per
         frame — never the full radio population.  The fan-out is *batched*:
-        one pass over the hearers builds the receiver list (powered, not
-        mid-transmission, not collided), one pass resolves PRRs — overrides
-        first, then the memoized link cache — and draws the Bernoulli
-        outcomes, and only then are surviving frames handed up the stacks.
-        The RNG draws happen in the exact per-receiver (attach) order the
-        unbatched loop used, so fixed-seed runs are bit-identical; handlers
-        run after every reception decision is made, which also means nothing
-        a handler does can alter this frame's own outcomes.
+        receiver eligibility (powered, not mid-transmission, not collided),
+        PRR resolution — overrides first, then the memoized link cache — and
+        the Bernoulli loss draws are all decided before any surviving frame
+        is handed up the stacks, which also means nothing a handler does can
+        alter this frame's own outcomes.
+
+        Narrow audiences take the scalar per-receiver loop; at
+        :attr:`vector_fanout_min` hearers and above the same three passes run
+        as array operations over the :class:`RadioField` (boolean masks for
+        eligibility/collisions, a dense PRR row vector, one
+        ``random_vector(n)`` draw).  Both paths consume the RNG stream in the
+        exact per-receiver attach order — one double per eligible receiver —
+        so fixed-seed runs are bit-identical regardless of which path each
+        frame takes.
 
         The transmissions that overlap ``tx`` were recorded while both were
-        on the air (:meth:`begin_transmission`), so the per-receiver collision
-        check scans a precomputed (usually absent or tiny) overlap list and
-        never touches transmission history.
+        on the air (:meth:`begin_transmission`), so the collision check scans
+        a precomputed (usually absent or tiny) overlap list and never touches
+        transmission history.
         """
         self._on_air.remove(tx)
         hearers = self.hearers(tx.radio)
         if not hearers:
             return  # nobody in range: skip the fan-out entirely
+        if len(hearers) >= self.vector_fanout_min:
+            self._fan_out_vector(tx, hearers)
+        else:
+            self._fan_out_scalar(tx, hearers)
+
+    def _fan_out_scalar(self, tx: Transmission, hearers: list[Radio]) -> None:
+        """The per-receiver delivery loop, optimal for narrow audiences."""
         # Resolve each overlapping transmitter's hearer-id set once up front:
         # the set is shared by all receivers, so the per-receiver collision
         # check becomes a set membership.
@@ -590,14 +654,144 @@ class Channel:
             if callback is not None:
                 callback(frame)
 
-    def _collided(
-        self, overlapping: list[tuple[Radio, frozenset[int]]], receiver: Radio
-    ) -> bool:
-        receiver_id = receiver.mote.id
-        for other_radio, audible_ids in overlapping:
-            # The receiver's own (already finished) transmission corrupts
-            # the frame too: half-duplex, and a radio always hears itself.
-            if other_radio is receiver or receiver_id in audible_ids:
-                return True
-        return False
+    # ------------------------------------------------------------------
+    # Vectorized fan-out
+    # ------------------------------------------------------------------
+    def _slots_for(self, tx_id: int, audience: list[Radio]) -> "np.ndarray":
+        """Field-slot array for a cached hearer list, memoized alongside it.
+
+        ``_hearer_slots`` is dropped by exactly the hooks that drop
+        ``_hearers`` (and slots are stable for the lifetime of an
+        attachment), so a cached array is always consistent with the list.
+        """
+        slots = self._hearer_slots.get(tx_id)
+        if slots is None:
+            slots = self.field.slots_of([r.mote.id for r in audience])
+            self._hearer_slots[tx_id] = slots
+        return slots
+
+    def _fan_out_vector(self, tx: Transmission, hearers: list[Radio]) -> None:
+        """The three delivery passes as array operations over the field.
+
+        Stream discipline: exactly one double is drawn per *eligible*
+        receiver, in attach order — ``hearers`` is attach-sorted and every
+        mask preserves its order — so this path is RNG-indistinguishable
+        from :meth:`_fan_out_scalar`.  Counter discipline likewise: the
+        collision, drop, hit and miss counters are incremented with the
+        same multiplicities the scalar loop would produce.
+        """
+        field = self.field
+        tx_radio = tx.radio
+        tx_id = tx_radio.mote.id
+        slots = self._slots_for(tx_id, hearers)
+        start, end = tx.start, tx.end
+        # Pass 1: eligibility (powered, not mid-transmission) as one mask.
+        eligible = field.enabled[slots] & ~(
+            (field.tx_start[slots] < end) & (field.tx_end[slots] > start)
+        )
+        if tx.overlaps:
+            # Collision mask: mark every slot each overlapping transmitter
+            # reaches (plus its own — half-duplex, a radio hears itself) in
+            # the capacity-sized scratch, gather at the hearer slots, then
+            # un-mark only what was touched.  O(sum of overlap degrees + n).
+            mark = field.scratch_bool
+            marked = self._mark_overlaps(tx, mark)
+            collided = mark[slots]
+            for oslots in marked:
+                mark[oslots] = False
+            collided &= eligible  # scalar loop only counts eligible hearers
+            self.collisions += int(np.count_nonzero(collided))
+            eligible &= ~collided
+        receivers = np.flatnonzero(eligible)
+        n = int(receivers.size)
+        if n == 0:
+            return
+        rslots = slots[receivers]
+        # Pass 2: PRR resolution — override ▸ cached row vector ▸ model fill.
+        cache = self.link_cache
+        prrs = cache.row_array(tx_id)[rslots]
+        override_mask, override_values = self._gather_overrides(tx_id, rslots)
+        known = ~np.isnan(prrs)
+        if override_mask is not None:
+            known &= ~override_mask
+            unresolved = ~known & ~override_mask
+        else:
+            unresolved = ~known
+        cache.cache_hits += int(np.count_nonzero(known))
+        if unresolved.any():
+            tx_position = tx_radio.position
+            for k in np.flatnonzero(unresolved).tolist():
+                radio = hearers[receivers[k]]
+                prrs[k] = cache.fill(tx_id, tx_position, radio.mote.id, radio.position)
+        if override_mask is not None:
+            prrs[override_mask] = override_values[override_mask]
+        # Pass 3: every receiver's Bernoulli outcome from one vector draw.
+        success = self.rng.random_vector(n) < prrs
+        delivered = receivers[success]
+        self.prr_drops += n - int(delivered.size)
+        if delivered.size == 0:
+            return
+        frame = tx.frame
+        for j in delivered.tolist():
+            radio = hearers[j]
+            radio.frames_received += 1
+            callback = radio._receive_callback
+            if callback is not None:
+                callback(frame)
+
+    def _mark_overlaps(
+        self, tx: Transmission, mark: "np.ndarray"
+    ) -> list["np.ndarray"]:
+        """Set ``mark`` at every slot corrupted by ``tx``'s overlap set;
+        returns the index arrays to un-mark afterwards."""
+        marked: list["np.ndarray"] = []
+        assert tx.overlaps is not None
+        for other in tx.overlaps:
+            other_radio = other.radio
+            other_id = other_radio.mote.id
+            oslots = self._slots_for(other_id, self.hearers(other_radio))
+            mark[oslots] = True
+            marked.append(oslots)
+            # The transmitter's own slot — but only while it still owns it:
+            # a detached-mid-flight transmitter's slot may have been recycled
+            # to a different radio (and a detached radio cannot be a hearer
+            # anyway, so skipping it loses nothing).
+            if self._radios.get(other_id) is other_radio:
+                own = other_radio._slot
+                mark[own] = True
+                marked.append(np.array([own], dtype=np.intp))
+        return marked
+
+    def _gather_overrides(
+        self, tx_id: int, rslots: "np.ndarray"
+    ) -> tuple["np.ndarray | None", "np.ndarray | None"]:
+        """Scatter ``prr_overrides`` rows for ``tx_id`` onto the field's NaN
+        scratch and gather them at the receiver slots.
+
+        Returns ``(mask, values)`` aligned with ``rslots``, or ``(None,
+        None)`` when no override touches this transmitter.  The scratch is
+        restored to all-NaN before returning (only touched entries reset).
+        """
+        overrides = self.prr_overrides
+        if not overrides:
+            return None, None
+        scratch = self.field.scratch_prr
+        slot_of = self.field.slot_of
+        touched: list[int] = []
+        for (src, dst), value in overrides.items():
+            if src != tx_id:
+                continue
+            slot = slot_of.get(dst)
+            if slot is not None:
+                scratch[slot] = value
+                touched.append(slot)
+        if not touched:
+            return None, None
+        values = scratch[rslots]
+        for slot in touched:
+            scratch[slot] = np.nan
+        mask = ~np.isnan(values)
+        if not mask.any():
+            return None, None
+        return mask, values
 

@@ -1,0 +1,168 @@
+"""The radio field: per-node state as contiguous numpy arrays.
+
+The channel's delivery fan-out used to read each receiver's state through
+Python attribute chains — ``radio._enabled``, ``radio._current_tx.start`` —
+one hop per hearer per frame.  :class:`RadioField` is the array-of-structs
+replacement: every attached radio owns a dense *slot* into a set of
+parallel arrays (position, tx power, enabled flag, current-tx interval),
+and the fan-out becomes boolean-mask arithmetic over fancy-indexed views.
+
+The field is not an independent source of truth so much as a *mirror* with
+array layout: it is written through exactly the hooks that already re-key
+the spatial hearer index and invalidate the :class:`LinkCache` —
+
+* :meth:`Channel.attach` / :meth:`Channel.detach` → :meth:`allocate` /
+  :meth:`release`;
+* :meth:`Channel.move` → :meth:`set_position` (same three assignment
+  points that re-key the spatial hash);
+* ``Radio.enabled`` setter → :meth:`set_enabled`;
+* ``Radio._begin_tx`` / ``Radio._end_tx`` → :meth:`begin_tx` /
+  :meth:`end_tx`.
+
+Slots are recycled LIFO on release, so the arrays stay dense under churn:
+``N`` live radios occupy at most ``max(N over time)`` slots, and capacity
+only ever doubles.  ``mote_ids[slot]`` holds the owner (-1 when free) and
+``slot_of`` maps back — both directions are needed because the fan-out
+works in slot space but delivery hands frames to mote objects.
+
+Two scratch arrays ride along (``scratch_bool``, ``scratch_prr``) sized to
+capacity: the vector fan-out uses them for collision marking and override
+scattering without allocating per frame, resetting only the entries it
+touched.
+"""
+
+from __future__ import annotations
+
+from repro.radio._np import np
+from repro.radio.linkmodels import Position
+
+#: ``tx_end`` value for "not transmitting".  Sim time is a non-negative
+#: microsecond counter, so the half-duplex overlap test
+#: ``(tx_start < end) & (tx_end > start)`` is always false for idle slots
+#: (their interval is [0, -1)).
+NO_TX_END = -1
+
+_INITIAL_CAPACITY = 16
+
+
+class RadioField:
+    """Dense slot-indexed arrays of per-radio physical state."""
+
+    __slots__ = (
+        "capacity",
+        "positions",
+        "tx_power_dbm",
+        "enabled",
+        "tx_start",
+        "tx_end",
+        "mote_ids",
+        "slot_of",
+        "scratch_bool",
+        "scratch_prr",
+        "_free",
+    )
+
+    def __init__(self, capacity: int = _INITIAL_CAPACITY):
+        self.capacity = max(int(capacity), 1)
+        self.positions = np.zeros((self.capacity, 2), dtype=np.float64)
+        self.tx_power_dbm = np.zeros(self.capacity, dtype=np.float64)
+        self.enabled = np.zeros(self.capacity, dtype=bool)
+        self.tx_start = np.zeros(self.capacity, dtype=np.int64)
+        self.tx_end = np.full(self.capacity, NO_TX_END, dtype=np.int64)
+        self.mote_ids = np.full(self.capacity, -1, dtype=np.int64)
+        #: mote id -> slot, the inverse of ``mote_ids``.
+        self.slot_of: dict[int, int] = {}
+        self.scratch_bool = np.zeros(self.capacity, dtype=bool)
+        self.scratch_prr = np.full(self.capacity, np.nan, dtype=np.float64)
+        self._free: list[int] = list(range(self.capacity - 1, -1, -1))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.slot_of)
+
+    def allocate(
+        self,
+        mote_id: int,
+        position: Position,
+        enabled: bool = True,
+        tx_power_dbm: float = 0.0,
+    ) -> int:
+        """Claim a slot for ``mote_id`` and seed its state; returns the slot."""
+        if mote_id in self.slot_of:
+            raise ValueError(f"mote id {mote_id} already holds a field slot")
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        self.positions[slot, 0] = position[0]
+        self.positions[slot, 1] = position[1]
+        self.tx_power_dbm[slot] = tx_power_dbm
+        self.enabled[slot] = enabled
+        self.tx_start[slot] = 0
+        self.tx_end[slot] = NO_TX_END
+        self.mote_ids[slot] = mote_id
+        self.slot_of[mote_id] = slot
+        return slot
+
+    def release(self, mote_id: int) -> None:
+        """Return ``mote_id``'s slot to the free list, state zeroed.
+
+        The reset matters: a recycled slot must read as disabled and idle to
+        any stale fancy-index that still names it (the channel drops those
+        caches on detach, but the reset makes the failure mode inert rather
+        than silently wrong).
+        """
+        slot = self.slot_of.pop(mote_id)
+        self.enabled[slot] = False
+        self.tx_start[slot] = 0
+        self.tx_end[slot] = NO_TX_END
+        self.mote_ids[slot] = -1
+        self._free.append(slot)
+
+    # ------------------------------------------------------------------
+    # Sync hooks (mirrors of the scalar state the channel already maintains)
+    # ------------------------------------------------------------------
+    def set_position(self, slot: int, position: Position) -> None:
+        self.positions[slot, 0] = position[0]
+        self.positions[slot, 1] = position[1]
+
+    def set_enabled(self, slot: int, up: bool) -> None:
+        self.enabled[slot] = up
+
+    def begin_tx(self, slot: int, start: int, end: int) -> None:
+        self.tx_start[slot] = start
+        self.tx_end[slot] = end
+
+    def end_tx(self, slot: int) -> None:
+        self.tx_end[slot] = NO_TX_END
+
+    # ------------------------------------------------------------------
+    def slots_of(self, mote_ids: list[int]) -> "np.ndarray":
+        """Dense slot array for a list of mote ids (fan-out's index base)."""
+        slot_of = self.slot_of
+        return np.fromiter(
+            (slot_of[mote_id] for mote_id in mote_ids),
+            dtype=np.intp,
+            count=len(mote_ids),
+        )
+
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+        positions = np.zeros((new, 2), dtype=np.float64)
+        positions[:old] = self.positions
+        self.positions = positions
+        self.tx_power_dbm = np.concatenate(
+            [self.tx_power_dbm, np.zeros(old, dtype=np.float64)]
+        )
+        self.enabled = np.concatenate([self.enabled, np.zeros(old, dtype=bool)])
+        self.tx_start = np.concatenate([self.tx_start, np.zeros(old, dtype=np.int64)])
+        self.tx_end = np.concatenate(
+            [self.tx_end, np.full(old, NO_TX_END, dtype=np.int64)]
+        )
+        self.mote_ids = np.concatenate(
+            [self.mote_ids, np.full(old, -1, dtype=np.int64)]
+        )
+        self.scratch_bool = np.zeros(new, dtype=bool)
+        self.scratch_prr = np.full(new, np.nan, dtype=np.float64)
+        self._free.extend(range(new - 1, old - 1, -1))
+        self.capacity = new

@@ -23,7 +23,13 @@ is actually used and that churn invalidates no more than O(degree) state.
 
 from __future__ import annotations
 
+import typing
+
+from repro.radio._np import np
 from repro.radio.linkmodels import LinkModel, Position
+
+if typing.TYPE_CHECKING:
+    from repro.radio.field import RadioField
 
 
 class LinkCache:
@@ -39,6 +45,8 @@ class LinkCache:
     __slots__ = (
         "_model",
         "_rows",
+        "_row_arrays",
+        "_field",
         "_sources_at",
         "version",
         "cache_hits",
@@ -46,10 +54,16 @@ class LinkCache:
         "cache_invalidations",
     )
 
-    def __init__(self, model: LinkModel):
+    def __init__(self, model: LinkModel, field: "RadioField | None" = None):
         self._model = model
         #: src mote id -> {dst mote id -> prr}.
         self._rows: dict[int, dict[int, float]] = {}
+        #: src mote id -> dense float64 PRR vector indexed by *field slot*
+        #: (NaN = unknown), the vectorized fan-out's view of ``_rows``.
+        #: Derived lazily by :meth:`row_array`, kept in step by :meth:`fill`,
+        #: dropped whenever the backing row changes.
+        self._row_arrays: dict[int, "np.ndarray"] = {}
+        self._field = field
         #: dst mote id -> src ids holding a cached entry toward it, so
         #: invalidating a radio touches only the pairs it participates in.
         self._sources_at: dict[int, set[int]] = {}
@@ -73,11 +87,48 @@ class LinkCache:
             row = self._rows[src_id] = {}
         return row
 
+    def row_array(self, src_id: int) -> "np.ndarray":
+        """The dense PRR vector for one transmitter, indexed by field slot.
+
+        ``NaN`` marks pairs the cache has not resolved yet; the vectorized
+        fan-out isolates those with ``isnan`` and fills them per receiver
+        (through :meth:`fill`, which also patches the array), so the counter
+        semantics — one ``cache_misses`` per unresolved pair, ``cache_hits``
+        for the rest — stay identical to the scalar dict path.
+
+        Rebuilt from the dict row whenever absent or whenever the field has
+        grown past the array's length (capacity doubling), so fancy indexing
+        with current slots can never run out of bounds.
+        """
+        field = self._field
+        assert field is not None, "row_array needs a bound RadioField"
+        arr = self._row_arrays.get(src_id)
+        if arr is not None and arr.size == field.capacity:
+            return arr
+        arr = np.full(field.capacity, np.nan, dtype=np.float64)
+        row = self._rows.get(src_id)
+        if row:
+            slot_of = field.slot_of
+            for dst_id, prr in row.items():
+                slot = slot_of.get(dst_id)
+                if slot is not None:
+                    arr[slot] = prr
+        self._row_arrays[src_id] = arr
+        return arr
+
     def fill(self, src_id: int, src_pos: Position, dst_id: int, dst_pos: Position) -> float:
         """Compute-and-store for a miss already observed on :meth:`row`."""
         self.cache_misses += 1
         prr = self._model.prr(src_pos, dst_pos)
-        self._rows[src_id][dst_id] = prr
+        row = self._rows.get(src_id)
+        if row is None:
+            row = self._rows[src_id] = {}
+        row[dst_id] = prr
+        arr = self._row_arrays.get(src_id)
+        if arr is not None:
+            slot = self._field.slot_of.get(dst_id) if self._field else None
+            if slot is not None and slot < arr.size:
+                arr[slot] = prr
         sources = self._sources_at.get(dst_id)
         if sources is None:
             sources = self._sources_at[dst_id] = set()
@@ -93,6 +144,7 @@ class LinkCache:
         """
         self.cache_invalidations += 1
         row = self._rows.pop(mote_id, None)
+        self._row_arrays.pop(mote_id, None)
         if row:
             for dst_id in row:
                 sources = self._sources_at.get(dst_id)
@@ -104,11 +156,16 @@ class LinkCache:
                 row = self._rows.get(src_id)
                 if row is not None:
                     row.pop(mote_id, None)
+                # The dst slot may be recycled by the time the array is next
+                # read, so drop the derived vector rather than NaN-ing in
+                # place; it is rebuilt lazily from the surviving dict row.
+                self._row_arrays.pop(src_id, None)
 
     def clear(self) -> None:
         """Forget everything (link-model swap)."""
         self.cache_invalidations += 1
         self._rows.clear()
+        self._row_arrays.clear()
         self._sources_at.clear()
 
     def swap_model(self, model: LinkModel) -> None:

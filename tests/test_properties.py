@@ -348,9 +348,16 @@ class _NaiveChannel(Channel):
             receiver_tx = radio._current_tx
             if receiver_tx is not None and receiver_tx.start < end and receiver_tx.end > start:
                 continue
-            if overlapping is not None and self._collided(overlapping, radio):
-                self.collisions += 1
-                continue
+            if overlapping is not None:
+                # The receiver's own (already finished) transmission corrupts
+                # the frame too: half-duplex, and a radio always hears itself.
+                receiver_id = radio.mote.id
+                if any(
+                    other_radio is radio or receiver_id in audible_ids
+                    for other_radio, audible_ids in overlapping
+                ):
+                    self.collisions += 1
+                    continue
             prr = overrides.get((tx_id, radio.mote.id)) if overrides else None
             if prr is None:
                 prr = link_prr(tx_position, radio.position)
@@ -373,6 +380,8 @@ delivery_ops = st.lists(
             st.integers(0, 8),
         ),
         st.tuples(st.just("detach"), st.integers(0, _N_RADIOS - 1)),
+        st.tuples(st.just("fail"), st.integers(0, _N_RADIOS - 1)),
+        st.tuples(st.just("recover"), st.integers(0, _N_RADIOS - 1)),
         st.tuples(
             st.just("override"),
             st.integers(0, _N_RADIOS - 1),
@@ -412,8 +421,10 @@ class TestDeliveryEquivalenceProperty:
             radios.append(radio)
         return sim, channel, radios, log
 
-    def _drive(self, channel_cls, operations, seed):
+    def _drive(self, channel_cls, operations, seed, vector_min=None):
         sim, channel, radios, log = self._deploy(channel_cls, seed)
+        if vector_min is not None:
+            channel.vector_fanout_min = vector_min
         detached: set[int] = set()
         for op in operations:
             kind, *args = op
@@ -434,6 +445,14 @@ class TestDeliveryEquivalenceProperty:
                     continue
                 detached.add(index)
                 channel.detach(index + 1)
+            elif kind == "fail":
+                (index,) = args
+                if index not in detached:
+                    radios[index].enabled = False
+            elif kind == "recover":
+                (index,) = args
+                if index not in detached:
+                    radios[index].enabled = True
             elif kind == "override":
                 src, dst, choice = args
                 channel.prr_overrides[(src + 1, dst + 1)] = _PRR_CHOICES[choice]
@@ -457,6 +476,17 @@ class TestDeliveryEquivalenceProperty:
         optimized = self._drive(Channel, operations, seed)
         reference = self._drive(_NaiveChannel, operations, seed)
         assert optimized == reference
+
+    @given(delivery_ops, st.integers(0, 7))
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_vectorized_delivery_matches_naive_reference(self, operations, seed):
+        """PR 6's extension: force *every* fan-out down the vectorized field
+        path (threshold 1) and require the same frames, drops, collisions,
+        and RNG-stream consumption as the naive per-frame reference — which
+        also proves vector and scalar paths are interchangeable mid-run."""
+        vectorized = self._drive(Channel, operations, seed, vector_min=1)
+        reference = self._drive(_NaiveChannel, operations, seed)
+        assert vectorized == reference
 
 
 # ----------------------------------------------------------------------

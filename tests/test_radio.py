@@ -306,3 +306,90 @@ class TestLinkCache:
         version_before = channel.link_cache.version
         channel.link_model = PerfectLinks(range_m=5.0)
         assert channel.link_cache.version == version_before + 1
+
+
+class TestVectorFanOut:
+    """The vectorized delivery path (audience >= ``vector_fanout_min``) must
+    be behavior- and counter-identical to the scalar loop.  Forcing the
+    threshold to 1 re-runs the LinkCache regressions through the array
+    passes specifically — masks, dense PRR rows, and the one-draw fan-out."""
+
+    def _pair(self, link_model=None, seed=0):
+        sim = Simulator(seed=seed)
+        channel = Channel(sim, link_model or PerfectLinks(), grid_spacing_m=1.0)
+        channel.vector_fanout_min = 1  # every fan-out takes the vector path
+        a = make_mote(sim, 1, 1, 1)
+        b = make_mote(sim, 2, 2, 1)
+        return sim, channel, channel.attach(a), channel.attach(b)
+
+    def test_repeat_deliveries_hit_the_cache(self):
+        sim, channel, radio_a, radio_b = self._pair()
+        radio_b.set_receive_callback(lambda f: None)
+        for _ in range(5):
+            radio_a.send(Frame(1, 2, 0x10, b"x"))
+            sim.run_until_idle()
+        cache = channel.link_cache
+        assert cache.cache_misses == 1
+        assert cache.cache_hits == 4
+        assert radio_b.frames_received == 5
+
+    def test_override_installed_mid_flight_applies_to_next_delivery(self):
+        """The PR 5 regression, on the vector path: an override installed
+        while the frame is on the air still decides its reception, bypassing
+        the warm dense row without touching the hit/miss counters."""
+        sim, channel, radio_a, radio_b = self._pair()
+        got = []
+        radio_b.set_receive_callback(got.append)
+        radio_a.send(Frame(1, 2, 0x10, b"warm"))
+        sim.run_until_idle()
+        assert got and channel.prr_drops == 0
+        hits_before = channel.link_cache.cache_hits
+        misses_before = channel.link_cache.cache_misses
+        radio_a.send(Frame(1, 2, 0x10, b"doomed"))
+        sim.run(duration=ms(1))
+        channel.prr_overrides[(1, 2)] = 0.0
+        sim.run_until_idle()
+        assert len(got) == 1
+        assert channel.prr_drops == 1
+        assert channel.link_cache.cache_hits == hits_before
+        assert channel.link_cache.cache_misses == misses_before
+        del channel.prr_overrides[(1, 2)]
+        radio_a.send(Frame(1, 2, 0x10, b"again"))
+        sim.run_until_idle()
+        assert len(got) == 2
+        assert channel.link_cache.cache_hits == hits_before + 1
+
+    def test_receiver_failed_mid_flight_misses_the_frame(self):
+        """Failure injection on the vector path: powering a receiver down
+        while a frame is in flight excludes it from the eligibility mask."""
+        sim, channel, radio_a, radio_b = self._pair()
+        got = []
+        radio_b.set_receive_callback(got.append)
+        radio_a.send(Frame(1, 2, 0x10, b"dark"))
+        sim.run(duration=ms(1))
+        radio_b.enabled = False
+        sim.run_until_idle()
+        assert got == []
+        assert channel.prr_drops == 0  # ineligible, not unlucky
+
+    def test_hidden_terminal_collision_on_vector_path(self):
+        from repro.radio import Transmission
+
+        sim = Simulator(seed=0)
+        channel = Channel(sim, PerfectLinks(range_m=1.5), grid_spacing_m=1.0)
+        channel.vector_fanout_min = 1
+        radio_a = channel.attach(make_mote(sim, 1, 0, 0))
+        radio_b = channel.attach(make_mote(sim, 2, 1, 0))
+        radio_c = channel.attach(make_mote(sim, 3, 2, 0))
+        got = []
+        radio_b.set_receive_callback(got.append)
+        # A and C are mutually inaudible but both reach B: put both frames on
+        # the air directly (bypassing CSMA, which would defer one of them).
+        tx_a = Transmission(radio_a, Frame(1, 0xFFFF, 0x10, b"x"), sim.now, sim.now + 100)
+        tx_c = Transmission(radio_c, Frame(3, 0xFFFF, 0x10, b"y"), sim.now, sim.now + 100)
+        channel.begin_transmission(tx_a)
+        channel.begin_transmission(tx_c)
+        channel.end_transmission(tx_a)
+        channel.end_transmission(tx_c)
+        assert got == []
+        assert channel.collisions == 2
