@@ -11,10 +11,19 @@ base station from every burning node.
 Run:  python examples/fire_tracking.py
 """
 
-from repro import Environment, FireField, GridNetwork, Location
-from repro.agilla.fields import StringField
-from repro.apps import firedetector, firetracker
-from repro.mote.sensors import TEMPERATURE
+from repro import (
+    TEMPERATURE,
+    Environment,
+    FireField,
+    GridTopology,
+    Location,
+    SensorNetwork,
+    StringField,
+    firedetector,
+    firetracker,
+)
+
+WIDTH = HEIGHT = 5
 
 
 def tagged(net, location, tag):
@@ -29,9 +38,9 @@ def tagged(net, location, tag):
 def render(net, fire):
     """An ASCII map: F = burning, T = tracker, d = detector, . = bare."""
     lines = []
-    for y in range(net.height, 0, -1):
+    for y in range(HEIGHT, 0, -1):
         row = []
-        for x in range(1, net.width + 1):
+        for x in range(1, WIDTH + 1):
             location = Location(x, y)
             if fire.burning(location, net.sim.now):
                 cell = "F"
@@ -53,7 +62,9 @@ def main() -> None:
         spread_rate=0.02,  # grid units per second
         burn_value=850,
     )
-    net = GridNetwork(seed=7, environment=Environment({TEMPERATURE: fire}))
+    net = SensorNetwork(
+        GridTopology(WIDTH, HEIGHT), seed=7, environment=Environment({TEMPERATURE: fire})
+    )
 
     print("t=0s: injecting one FIREDETECTOR (it clones itself everywhere)")
     net.inject(firedetector(period_ticks=40), at=(0, 0))

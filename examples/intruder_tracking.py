@@ -12,10 +12,17 @@ intruder across the corridor.
 Run:  python examples/intruder_tracking.py
 """
 
-from repro import Environment, GridNetwork, Location
-from repro.apps import chaser, sampler
-from repro.mote.environment import MovingTargetField, waypoint_path
-from repro.mote.sensors import MAGNETOMETER
+from repro import (
+    MAGNETOMETER,
+    Environment,
+    GridTopology,
+    Location,
+    MovingTargetField,
+    SensorNetwork,
+    chaser,
+    sampler,
+    waypoint_path,
+)
 
 
 def chaser_location(net):
@@ -30,7 +37,9 @@ def main() -> None:
     # The intruder walks the bottom row, then up the right edge.
     path = waypoint_path([(1.0, 1.0), (5.0, 1.0), (5.0, 4.0)], speed=0.07)
     field = MovingTargetField(path, peak=1000, reach=1.8)
-    net = GridNetwork(seed=11, environment=Environment({MAGNETOMETER: field}))
+    net = SensorNetwork(
+        GridTopology(5, 5), seed=11, environment=Environment({MAGNETOMETER: field})
+    )
 
     # One sampler per node (spread=False: we place them explicitly).
     for node in net.grid_nodes():

@@ -11,9 +11,7 @@ gossip repair keep running underneath.
 Run:  python examples/large_random_deployment.py
 """
 
-from repro import RandomUniformTopology, SensorNetwork
-from repro.agilla.fields import StringField
-from repro.apps import firedetector
+from repro import RandomUniformTopology, SensorNetwork, StringField, firedetector
 
 
 def claimed(net, tag="fdt"):

@@ -10,10 +10,17 @@ decoupled hand-off the paper's §2.2 narrative describes.
 Run:  python examples/multi_application.py
 """
 
-from repro import Environment, FireField, GridNetwork, Location
-from repro.agilla.fields import StringField
-from repro.apps import firedetector, habitat_monitor
-from repro.mote.sensors import TEMPERATURE
+from repro import (
+    TEMPERATURE,
+    Environment,
+    FireField,
+    GridTopology,
+    Location,
+    SensorNetwork,
+    StringField,
+    firedetector,
+    habitat_monitor,
+)
 
 
 def resident_species(net):
@@ -39,8 +46,8 @@ def fresh_samples(net):
 
 def main() -> None:
     fire = FireField(Location(2, 2), ignition_time=90_000_000, spread_rate=0.05)
-    net = GridNetwork(
-        width=3, height=3, seed=5, environment=Environment({TEMPERATURE: fire})
+    net = SensorNetwork(
+        GridTopology(3, 3), seed=5, environment=Environment({TEMPERATURE: fire})
     )
 
     # Application 1: biologists deploy habitat monitors on every node.

@@ -8,14 +8,20 @@ that program it after the fact (§2.2).
 Run:  python examples/quickstart.py
 """
 
-from repro import GridNetwork, assemble
-from repro.apps import blink_agent, rout_agent, smove_agent
+from repro import (
+    GridTopology,
+    SensorNetwork,
+    assemble,
+    blink_agent,
+    rout_agent,
+    smove_agent,
+)
 
 
 def main() -> None:
     # The paper's testbed: a 5x5 grid of MICA2 motes plus a base station at
     # (0,0), all on one simulated CC1000 radio channel.
-    net = GridNetwork(width=5, height=5, seed=42)
+    net = SensorNetwork(GridTopology(5, 5), seed=42)
     print(f"deployed {len(net.nodes)} nodes; no application installed yet")
     print(f"one mote uses {net.middleware((1, 1)).mote.memory.ram_used} B "
           "of its 4096 B data memory (paper: 3.59 KB)\n")

@@ -4,9 +4,9 @@ MICA2/TinyOS simulator.
 
 Quickstart::
 
-    from repro import GridNetwork, assemble
+    from repro import GridTopology, SensorNetwork, assemble
 
-    net = GridNetwork(seed=1)            # 5x5 grid + base station at (0,0)
+    net = SensorNetwork(GridTopology(5, 5), seed=1)  # + base station at (0,0)
     agent = net.inject(assemble('''
         pushc 1
         pushc 1          // tuple <value:1> on the stack
@@ -16,6 +16,17 @@ Quickstart::
     ''', name="rout-demo"))
     net.run(5.0)
     print(net.tuples_at((5, 1)))
+
+Or declaratively, through the one run entry point::
+
+    import repro
+
+    result = repro.run("static-flood", seed=3, duration_s=30.0)
+    print(result.counters["coverage"], result.timings["wall_s"])
+
+Everything in ``__all__`` below is the supported public surface; deep module
+paths (``repro.sim.kernel``, ``repro.scenarios.library``, ...) are internal
+and may move between releases.
 """
 
 from repro.agilla import (
@@ -25,10 +36,21 @@ from repro.agilla import (
     AgillaParams,
     AgillaTuple,
     Program,
+    StringField,
     assemble,
     disassemble,
     make_template,
     make_tuple,
+)
+from repro.apps import (
+    blink_agent,
+    chaser,
+    firedetector,
+    firetracker,
+    habitat_monitor,
+    rout_agent,
+    sampler,
+    smove_agent,
 )
 from repro.dynamics import (
     DeploymentDynamics,
@@ -41,7 +63,16 @@ from repro.dynamics import (
     dynamics_from_spec,
 )
 from repro.location import BASE_STATION_LOCATION, Location
-from repro.mote import Environment, FireField, HotspotField, MovingTargetField
+from repro.mote import (
+    LIGHT,
+    MAGNETOMETER,
+    TEMPERATURE,
+    Environment,
+    FireField,
+    HotspotField,
+    MovingTargetField,
+    waypoint_path,
+)
 from repro.network import (
     Deployment,
     GridNetwork,
@@ -62,7 +93,12 @@ from repro.topology import (
     from_spec,
 )
 
-__version__ = "1.0.0"
+# The run API and the sharded runtime sit atop the layers above; imported
+# last so the package initializes bottom-up without cycles.
+from repro.api import RunResult, run, run_scenario
+from repro.shard import ShardedRunner
+
+__version__ = "1.1.0"
 
 __all__ = [
     "Agent",
@@ -71,16 +107,29 @@ __all__ = [
     "AgillaParams",
     "AgillaTuple",
     "Program",
+    "StringField",
     "assemble",
     "disassemble",
     "make_template",
     "make_tuple",
+    "blink_agent",
+    "chaser",
+    "firedetector",
+    "firetracker",
+    "habitat_monitor",
+    "rout_agent",
+    "sampler",
+    "smove_agent",
     "BASE_STATION_LOCATION",
     "Location",
     "Environment",
     "FireField",
     "HotspotField",
     "MovingTargetField",
+    "waypoint_path",
+    "LIGHT",
+    "MAGNETOMETER",
+    "TEMPERATURE",
     "Deployment",
     "GridNetwork",
     "Node",
@@ -105,5 +154,9 @@ __all__ = [
     "ClusteredTopology",
     "ExplicitTopology",
     "from_spec",
+    "RunResult",
+    "run",
+    "run_scenario",
+    "ShardedRunner",
     "__version__",
 ]

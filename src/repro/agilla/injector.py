@@ -27,7 +27,7 @@ from repro.agilla.fields import (
 from repro.agilla.tuples import AgillaTuple
 from repro.errors import AgillaError
 from repro.location import Location
-from repro.network import GridNetwork
+from repro.network import SensorNetwork
 
 
 def _field_literal(field: Field) -> list[str]:
@@ -65,7 +65,7 @@ def tuple_literal(tup: AgillaTuple) -> list[str]:
 class RemoteOpResult:
     """Handle for an in-flight console-issued remote operation."""
 
-    def __init__(self, net: GridNetwork, agent: Agent):
+    def __init__(self, net: SensorNetwork, agent: Agent):
         self._net = net
         self._agent = agent
 
@@ -98,7 +98,7 @@ class RemoteOpResult:
 class BaseStationConsole:
     """User-facing operations of the paper's base-station application."""
 
-    def __init__(self, net: GridNetwork):
+    def __init__(self, net: SensorNetwork):
         self.net = net
         self.station = net.base_station.middleware
 

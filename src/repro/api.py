@@ -1,0 +1,111 @@
+"""The one run entry point: ``repro.run(...)`` returning a typed result.
+
+Before this module there were three ways to drive an experiment — raw
+``Simulator.run`` over a hand-built network, ``Scenario.run()`` returning a
+flat metrics dict, and the bench drivers' private loops.  ``run()`` unifies
+them: give it a :class:`~repro.scenarios.spec.Scenario`, a spec dict, a
+builtin name, or a JSON path; get back a :class:`RunResult` that separates
+*behavior counters* (deterministic for a fixed seed and shard count) from
+*timings* (wall-clock pacing, never deterministic).
+
+``shards=1`` takes the classic single-process path and is bit-for-bit
+identical to ``Scenario.run()``; ``shards>1`` hands off to
+:class:`~repro.shard.runner.ShardedRunner`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.scenarios.spec import Scenario
+from repro.shard.runner import TIMING_KEYS, ShardedRunner
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """A completed run: behavior counters split from wall-clock timings.
+
+    ``counters`` holds everything deterministic for a fixed ``(seed,
+    shards)`` — frames, drops, deliveries, coverage, per-workload metrics.
+    ``timings`` holds pacing (build/wall seconds and derived rates).
+    ``per_shard`` carries each worker's local stats for sharded runs
+    (empty for single-process runs).
+    """
+
+    scenario: str
+    seed: int
+    shards: int
+    counters: dict
+    timings: dict
+    mode: str = "single"
+    per_shard: tuple[dict, ...] = field(default=())
+
+    def as_row(self) -> dict:
+        """The flat dict shape the bench tables and goldens use."""
+        return {**self.counters, **self.timings}
+
+    def __getitem__(self, key: str):
+        if key in self.counters:
+            return self.counters[key]
+        return self.timings[key]
+
+
+def _split_row(row: dict) -> tuple[dict, dict]:
+    counters = {k: v for k, v in row.items() if k not in TIMING_KEYS}
+    timings = {k: v for k, v in row.items() if k in TIMING_KEYS}
+    return counters, timings
+
+
+def run(
+    scenario_or_spec: Scenario | dict | str | Path,
+    *,
+    seed: int | None = None,
+    duration_s: float | None = None,
+    shards: int | None = None,
+) -> RunResult:
+    """Build and drive one experiment; the single public way to run.
+
+    ``scenario_or_spec`` is a :class:`Scenario`, a spec dict, a builtin
+    scenario name, or a path to a JSON spec.  ``seed``/``duration_s``/
+    ``shards`` override the scenario's own values when given.
+    """
+    scenario = (
+        scenario_or_spec
+        if isinstance(scenario_or_spec, Scenario)
+        else Scenario.from_spec(scenario_or_spec)
+    )
+    overrides: dict = {}
+    if seed is not None:
+        overrides["seed"] = seed
+    if duration_s is not None:
+        overrides["duration_s"] = duration_s
+    if shards is not None:
+        overrides["shards"] = shards
+    if overrides:
+        scenario = dataclasses.replace(scenario, **overrides)
+
+    if scenario.shards > 1:
+        return ShardedRunner(scenario).run()
+
+    row = scenario.build().run()
+    counters, timings = _split_row(row)
+    return RunResult(
+        scenario=scenario.name,
+        seed=scenario.seed,
+        shards=1,
+        counters=counters,
+        timings=timings,
+    )
+
+
+def run_scenario(
+    scenario_or_spec: Scenario | dict | str | Path,
+    *,
+    seed: int | None = None,
+    duration_s: float | None = None,
+    shards: int | None = None,
+) -> RunResult:
+    """Alias of :func:`run` (the name the facade has always promised)."""
+    return run(scenario_or_spec, seed=seed, duration_s=duration_s, shards=shards)

@@ -19,7 +19,8 @@ from repro.apps.habitat import habitat_monitor
 from repro.apps.testers import rout_agent, smove_agent
 from repro.apps.tracker import chaser
 from repro.bench.reporting import Table
-from repro.network import GridNetwork
+from repro.network import SensorNetwork
+from repro.topology import GridTopology
 
 
 def _one_way_arrival_rate(
@@ -28,7 +29,9 @@ def _one_way_arrival_rate(
     """Fraction of one-way smove transfers that arrive at (h,1)."""
     arrivals = 0
     for run in range(runs):
-        net = GridNetwork(seed=seed * 7_000_003 + hop_count * 101 + run, params=params)
+        net = SensorNetwork(
+            GridTopology(5, 5), seed=seed * 7_000_003 + hop_count * 101 + run, params=params
+        )
         program = assemble(f"pushloc {hop_count} 1\nsmove\nhalt", name="abl")
         net.inject(program, at=(0, 0))
         dest = net.middleware((hop_count, 1))

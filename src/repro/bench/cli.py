@@ -7,6 +7,7 @@ Usage::
     python -m repro.bench scale --nodes 25,400,1000
     python -m repro.bench kernel --out results/
     python -m repro.bench fanout --nodes 100,400,1000 --out results/
+    python -m repro.bench shard --nodes 2500,10000 --workers 1,2,4
     python -m repro.bench profile mobile-flood-400 --top 25
     python -m repro.bench compare results/BENCH_scale.json new/BENCH_scale.json
     python -m repro.bench trend week1/BENCH_scale.json week2/... week3/...
@@ -31,9 +32,38 @@ from repro.bench import (
     perf,
     scale,
     scenarios,
+    shard,
     trend,
 )
 from repro.bench.reporting import Table
+
+
+def _shared_flags() -> argparse.ArgumentParser:
+    """The flags every subcommand accepts, as an argparse parent.
+
+    One definition so ``--seed``/``--out``/``--runs`` mean the same thing
+    (and carry the same defaults) under every experiment and under
+    ``profile``.  ``--repeat`` is an alias for ``--runs``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--runs",
+        "--repeat",
+        dest="runs",
+        type=int,
+        default=100,
+        help="timed runs per data point (alias: --repeat)",
+    )
+    parent.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="master RNG seed (default 0; scenarios keep their spec seeds unless set)",
+    )
+    parent.add_argument(
+        "--out", default=None, help="also save tables under this directory"
+    )
+    return parent
 
 
 def _fig9_10(args) -> list[Table]:
@@ -117,6 +147,38 @@ def _fanout(args) -> list[Table]:
     ]
 
 
+def _worker_counts(text: str) -> tuple[int, ...]:
+    try:
+        counts = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated worker counts (e.g. 1,2,4): {text!r}"
+        ) from None
+    if not counts or any(count < 1 for count in counts):
+        raise argparse.ArgumentTypeError(f"worker counts must be positive: {text!r}")
+    return counts
+
+
+def _shard(args) -> list[Table]:
+    json_path = (
+        os.path.join(args.out, "BENCH_shard.json") if args.out else "BENCH_shard.json"
+    )
+    # --nodes defaults to the *scale* sweep's counts; give the shard sweep its
+    # own default unless the flag was passed explicitly.
+    node_counts = (
+        args.nodes if args.nodes is not scale.DEFAULT_NODE_COUNTS else shard.DEFAULT_NODE_COUNTS
+    )
+    return [
+        shard.run_shard_bench(
+            node_counts=node_counts,
+            workers=args.workers,
+            seed=args.seed if args.seed is not None else 0,
+            duration_s=args.duration if args.duration is not None else shard.DEFAULT_SHARD_SIM_S,
+            json_path=json_path,
+        )
+    ]
+
+
 def _kernel(args) -> list[Table]:
     json_path = (
         os.path.join(args.out, "BENCH_kernel.json") if args.out else "BENCH_kernel.json"
@@ -136,6 +198,7 @@ def _profile_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="agilla-bench profile",
         description="cProfile one scenario run; write the top-N table to results/.",
+        parents=[_shared_flags()],
     )
     parser.add_argument(
         "scenario",
@@ -150,10 +213,9 @@ def _profile_main(argv: list[str]) -> int:
     parser.add_argument(
         "--duration", type=float, default=None, help="override simulated seconds"
     )
-    parser.add_argument(
-        "--out", default="results", help="directory for profile_<name>.txt"
-    )
     args = parser.parse_args(argv)
+    # The shared --out default is None; profile always writes somewhere.
+    args.out = args.out or "results"
     print(
         perf.run_profile(
             args.scenario,
@@ -186,6 +248,7 @@ EXPERIMENTS = {
     "scenario": _scenario,
     "kernel": _kernel,
     "fanout": _fanout,
+    "shard": _shard,
 }
 
 
@@ -205,23 +268,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="agilla-bench",
         description="Regenerate the Agilla paper's tables and figures.",
+        parents=[_shared_flags()],
     )
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which table/figure to regenerate",
-    )
-    parser.add_argument(
-        "--runs", type=int, default=100, help="timed runs per data point"
-    )
-    parser.add_argument(
-        "--seed",
-        type=int,
-        default=None,
-        help="master RNG seed (default 0; scenarios keep their spec seeds unless set)",
-    )
-    parser.add_argument(
-        "--out", default=None, help="also save tables under this directory"
     )
     parser.add_argument(
         "--nodes",
@@ -248,20 +300,29 @@ def main(argv: list[str] | None = None) -> int:
         default=scenarios.DEFAULT_SCENARIOS,
         help="scenario sweep: comma-separated builtin names or JSON spec paths",
     )
+    parser.add_argument(
+        "--workers",
+        type=_worker_counts,
+        default=shard.DEFAULT_WORKERS,
+        help="shard sweep: comma-separated worker counts (e.g. 1,2,4)",
+    )
     args = parser.parse_args(argv)
-    # The scenario sweep and kernel battery need to distinguish "flag
-    # omitted" (None: keep their own defaults) from an explicit override;
-    # resolve the shared defaults for everything else here.
-    if args.experiment not in ("scenario", "kernel", "fanout"):
+    # The scenario sweep, kernel battery, and shard sweep need to distinguish
+    # "flag omitted" (None: keep their own defaults) from an explicit
+    # override; resolve the shared defaults for everything else here.
+    if args.experiment not in ("scenario", "kernel", "fanout", "shard"):
         if args.seed is None:
             args.seed = 0
         if args.duration is None:
             args.duration = scale.DEFAULT_DURATION_S
 
     if args.experiment == "all":
-        # fig9 emits fig10 too; the scale/scenario sweeps and the kernel and
-        # fan-out micro-benches are their own, post-paper runs.
-        names = sorted(set(EXPERIMENTS) - {"fig10", "scale", "scenario", "kernel", "fanout"})
+        # fig9 emits fig10 too; the scale/scenario sweeps, the kernel and
+        # fan-out micro-benches, and the shard sweep are their own,
+        # post-paper runs.
+        names = sorted(
+            set(EXPERIMENTS) - {"fig10", "scale", "scenario", "kernel", "fanout", "shard"}
+        )
     else:
         names = [args.experiment]
 

@@ -27,7 +27,8 @@ from repro.apps.testers import rout_agent, smove_agent
 from repro.bench.reporting import Table, mean, median
 from repro.location import Location
 from repro.net import am
-from repro.network import GridNetwork
+from repro.network import SensorNetwork
+from repro.topology import GridTopology
 from repro.tinyos.tasks import TaskQueue
 from repro.sim.units import to_ms
 
@@ -80,7 +81,7 @@ def _run_smove_point(runs: int, seed: int, hop_count: int) -> dict:
     successes = 0
     latencies_ms = []
     for run in range(runs):
-        net = GridNetwork(seed=seed * 1_000_003 + hop_count * 1009 + run)
+        net = SensorNetwork(GridTopology(5, 5), seed=seed * 1_000_003 + hop_count * 1009 + run)
         start = net.sim.now
         agent = net.inject(smove_agent(hop_count, 1), at=(0, 0))
         net.run_until(net.quiescent, 60.0)
@@ -104,7 +105,7 @@ def _run_rout_point(runs: int, seed: int, hop_count: int) -> dict:
     successes = 0
     latencies_ms = []
     for run in range(runs):
-        net = GridNetwork(seed=seed * 2_000_003 + hop_count * 1013 + run)
+        net = SensorNetwork(GridTopology(5, 5), seed=seed * 2_000_003 + hop_count * 1013 + run)
         agent = net.inject(rout_agent(hop_count, 1), at=(0, 0))
         net.run_until(lambda: agent.state == AgentState.DEAD, 30.0)
         if agent.condition == 1:
@@ -203,7 +204,7 @@ def run_fig11(samples: int = 100, seed: int = 0) -> Table:
 
 
 def _one_hop_latency_ms(op: str, seed: int) -> float | None:
-    net = GridNetwork(width=2, height=1, seed=seed, base_station=False)
+    net = SensorNetwork(GridTopology(2, 1), seed=seed, base_station=False)
     origin = net.middleware((1, 1))
     if op in ("rinp", "rrdp"):
         net.middleware((2, 1)).tuplespace_manager.insert(
@@ -302,7 +303,7 @@ def run_fig12(repetitions: int = 20, seed: int = 0) -> Table:
 def _measure_local_op(
     name: str, body: str, reps: int, seed: int, overhead_us: float
 ) -> list[float]:
-    net = GridNetwork(width=1, height=1, seed=seed, base_station=False, beacons=False)
+    net = SensorNetwork(GridTopology(1, 1), seed=seed, base_station=False, beacons=False)
     middleware = net.middleware((1, 1))
     middleware.mote.radio.enabled = False  # §4: "we disabled the radio"
     manager = middleware.tuplespace_manager

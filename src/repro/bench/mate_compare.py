@@ -21,7 +21,8 @@ from repro.apps.habitat import habitat_monitor
 from repro.baselines.mate import CLOCK_CAPSULE, MateNetwork, mate_assemble
 from repro.bench.reporting import Table
 from repro.location import Location
-from repro.network import GridNetwork
+from repro.network import SensorNetwork
+from repro.topology import GridTopology
 from repro.sim.units import to_seconds
 
 MATE_DETECTOR = """
@@ -43,7 +44,7 @@ MATE_RESPONSE = """
 """
 
 
-def _has_tag(net: GridNetwork, location, tag: str) -> bool:
+def _has_tag(net: SensorNetwork, location, tag: str) -> bool:
     for tup in net.tuples_at(location):
         if tup.arity and isinstance(tup.fields[0], StringField):
             if tup.fields[0].text == tag:
@@ -51,7 +52,7 @@ def _has_tag(net: GridNetwork, location, tag: str) -> bool:
     return False
 
 
-def _agilla_non_beacon_messages(net: GridNetwork) -> int:
+def _agilla_non_beacon_messages(net: SensorNetwork) -> int:
     beacons = sum(node.beacons.beacons_sent for node in net.all_nodes())
     return net.radio_messages() - beacons
 
@@ -67,7 +68,7 @@ def run_mate_comparison(seed: int = 0, width: int = 5, height: int = 5) -> Table
     # ------------------------------------------------------------------
     # 1. Deploy detection code to every node.
     # ------------------------------------------------------------------
-    agilla = GridNetwork(width=width, height=height, seed=seed)
+    agilla = SensorNetwork(GridTopology(width, height), seed=seed)
     agilla.inject(firedetector(), at=(0, 0))
     covered = lambda: all(  # noqa: E731
         _has_tag(agilla, node.location, "fdt") for node in agilla.grid_nodes()
@@ -98,7 +99,7 @@ def run_mate_comparison(seed: int = 0, width: int = 5, height: int = 5) -> Table
     # ------------------------------------------------------------------
     # 2. Targeted response at one node (the fire is at (3,3)).
     # ------------------------------------------------------------------
-    agilla2 = GridNetwork(width=width, height=height, seed=seed + 1)
+    agilla2 = SensorNetwork(GridTopology(width, height), seed=seed + 1)
     before = _agilla_non_beacon_messages(agilla2)
     mover = assemble("pushloc 3 3\nsmove\nwait", name="rsp")
     agilla2.inject(mover, at=(0, 0))
@@ -129,7 +130,7 @@ def run_mate_comparison(seed: int = 0, width: int = 5, height: int = 5) -> Table
     # ------------------------------------------------------------------
     # 3. Multiple applications sharing the network.
     # ------------------------------------------------------------------
-    agilla3 = GridNetwork(width=3, height=3, seed=seed + 2)
+    agilla3 = SensorNetwork(GridTopology(3, 3), seed=seed + 2)
     habitat = agilla3.inject(habitat_monitor(die_on_fire=False), at=(2, 2))
     tracker = agilla3.inject(firetracker(), at=(1, 1))
     agilla3.run(20.0)

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from repro.bench.reporting import Table
 from repro.mote.memory import MICA2_RAM_BYTES
-from repro.network import GridNetwork
+from repro.network import SensorNetwork
+from repro.topology import GridTopology
 
 PAPER_CODE_BYTES = 42_598  # 41.6 KiB
 PAPER_DATA_BYTES = 3_676  # 3.59 KiB
@@ -12,7 +13,7 @@ PAPER_DATA_BYTES = 3_676  # 3.59 KiB
 
 def run_memory(seed: int = 0) -> Table:
     """Build one mote's full stack and itemize its static memory."""
-    net = GridNetwork(width=1, height=1, seed=seed, base_station=False)
+    net = SensorNetwork(GridTopology(1, 1), seed=seed, base_station=False)
     memory = net.middleware((1, 1)).mote.memory
     table = Table(
         "memory",

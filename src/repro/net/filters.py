@@ -29,6 +29,16 @@ class NeighborSetFilter:
     def __init__(self, accepted_ids: Iterable[int]):
         self.accepted = frozenset(accepted_ids)
 
+    def extend(self, accepted_ids: Iterable[int]) -> None:
+        """Admit additional senders after installation.
+
+        The sharded runtime widens boundary nodes' accepted sets with their
+        cross-seam topology neighbors (mirrored into this shard as ghost
+        radios).  The stack's compiled dispatch closure holds this filter
+        object, so mutating :attr:`accepted` takes effect immediately.
+        """
+        self.accepted = self.accepted | frozenset(accepted_ids)
+
     def __call__(self, frame: Frame) -> bool:
         return frame.src in self.accepted
 

@@ -20,6 +20,7 @@ links.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -447,10 +448,16 @@ Deployment = SensorNetwork
 
 
 class GridNetwork(SensorNetwork):
-    """The paper's testbed in one call: a W×H grid plus base station.
+    """Deprecated: the paper's testbed in one call — a W×H grid + base station.
 
     Kept signature-compatible with the original grid-only builder; everything
-    now flows through :class:`SensorNetwork` over a :class:`GridTopology`.
+    now flows through :class:`SensorNetwork` over a :class:`GridTopology`,
+    which is also the supported spelling::
+
+        SensorNetwork(GridTopology(width, height), seed=...)
+
+    Constructing one emits a :class:`DeprecationWarning`; the class will be
+    removed once nothing in the wild constructs it.
     """
 
     def __init__(
@@ -469,6 +476,12 @@ class GridNetwork(SensorNetwork):
         adaptive: bool = False,
         beacon_expiry_intervals: int = DEFAULT_EXPIRY_INTERVALS,
     ):
+        warnings.warn(
+            "GridNetwork is deprecated; use "
+            "SensorNetwork(GridTopology(width, height), ...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.width = width
         self.height = height
         super().__init__(

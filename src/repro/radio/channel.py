@@ -293,6 +293,11 @@ class Channel:
         #: installed while frames are already in flight still applies to the
         #: next reception decision.
         self.prr_overrides: dict[tuple[int, int], float] = {}
+        #: Optional observer invoked with each :class:`Transmission` the
+        #: moment it goes on the air (after the overlap bookkeeping).  The
+        #: sharded runtime hooks this to capture boundary-mote frames for
+        #: replay in adjacent shards; ``None`` costs one comparison per frame.
+        self.on_transmission: Callable[[Transmission], None] | None = None
         # Statistics.
         self.frames_transmitted = 0
         self.collisions = 0
@@ -543,6 +548,8 @@ class Channel:
                 tx.overlaps.append(other)
         self._on_air.append(tx)
         self.frames_transmitted += 1
+        if self.on_transmission is not None:
+            self.on_transmission(tx)
 
     def end_transmission(self, tx: Transmission) -> None:
         """Frame finished: decide reception independently per receiver.

@@ -117,6 +117,40 @@ BUILTIN_SCENARIOS: dict[str, dict] = {
     },
     "partition-heal": _partition_heal(True),
     "partition-heal-frozen": _partition_heal(False),
+    # --- sharded-runtime battery (not part of the default bench sweep) ----
+    # sharded-ribbon: a long thin grid cut into 4 x-strips with *real* seams
+    # — the flood must cross every boundary via ghost replay, so this is the
+    # scenario that exercises the lookahead protocol hardest.
+    "sharded-ribbon": {
+        "name": "sharded-ribbon",
+        "topology": {"kind": "grid", "width": 16, "height": 4},
+        "workload": {"kind": "flood"},
+        "duration_s": 8.0,
+        "seed": 0,
+        "spacing_m": 60.0,
+        "shards": 4,
+    },
+    # sharded-clusters: dense habitat islands on a 2x2 center grid.  The
+    # middle cut snaps into the inter-column corridor (wider than radio
+    # range: ghost-free); the outer cuts bisect a cluster column, so the mix
+    # covers both empty and busy seams.
+    "sharded-clusters": {
+        "name": "sharded-clusters",
+        "topology": {
+            "kind": "clustered",
+            "clusters": 4,
+            "cluster_size": 50,
+            "cluster_spacing": 20,
+            "spread": 2.0,
+            "radius": 2.5,
+            "seed": 7,
+        },
+        "workload": {"kind": "habitat"},
+        "duration_s": 10.0,
+        "seed": 7,
+        "spacing_m": 25.0,
+        "shards": 4,
+    },
 }
 
 #: The bench sweep's default battery, in presentation order.  The two

@@ -52,6 +52,7 @@ _SCENARIO_KEYS = frozenset(
         "adaptive",
         "expiry_intervals",
         "beacon_period_s",
+        "shards",
     }
 )
 
@@ -123,6 +124,9 @@ class Scenario:
     #: Missed beacon intervals before a silent neighbor is evicted (``k``).
     expiry_intervals: int = DEFAULT_EXPIRY_INTERVALS
     beacon_period_s: float = 10.0
+    #: Spatial shards: 1 runs the classic single simulator; >1 partitions the
+    #: field into regions driven by :class:`repro.shard.ShardedRunner`.
+    shards: int = 1
 
     @classmethod
     def from_spec(cls, spec: dict | str | Path) -> "Scenario":
@@ -186,7 +190,15 @@ class Scenario:
         )
 
     def run(self) -> dict:
-        """Build and drive in one call; returns the flat metrics dict."""
+        """Build and drive in one call; returns the flat metrics dict.
+
+        With ``shards > 1`` the run is delegated to the sharded runtime and
+        the aggregated counters come back in the same flat-row shape.
+        """
+        if self.shards > 1:
+            from repro.shard.runner import ShardedRunner
+
+            return ShardedRunner(self).run().as_row()
         return self.build().run()
 
     def to_spec(self) -> dict:
@@ -204,6 +216,8 @@ class Scenario:
             "expiry_intervals": self.expiry_intervals,
             "beacon_period_s": self.beacon_period_s,
         }
+        if self.shards != 1:
+            spec["shards"] = self.shards
         if self.workload is not None:
             spec["workload"] = (
                 self.workload if isinstance(self.workload, str) else dict(self.workload)

@@ -13,6 +13,11 @@ fire-detector **flood** (the scale sweep's classic), a **tracker-perimeter**
 chase of a moving intruder, low-duty **habitat-monitor** sampling, and a
 **mixed-tenant** run where habitat monitors and a fire service share every
 mote (reusing the §2.2 hand-off exercised by ``examples/multi_application.py``).
+
+A workload additionally declares whether it is **shard-safe** — installable
+region-by-region under :class:`repro.shard.ShardedRunner` without any global
+per-tick driver.  Idle, flood and habitat are; tracker, courier and mixed
+drive or inspect the whole field centrally and are not (yet).
 """
 
 from __future__ import annotations
@@ -69,12 +74,29 @@ class Workload:
     """Base: a do-nothing workload (beacons only)."""
 
     name = "idle"
+    #: Can this workload run region-by-region under the sharded runtime?
+    #: True means :meth:`install_shard` installs only onto a region's own
+    #: nodes and drives nothing from a global scheduler.  Workloads that
+    #: inspect or command the whole field every tick (tracker's chaser,
+    #: courier's dispatch loop) must say False.
+    shard_safe = True
 
     def environment(self, topology: Topology, duration_s: float) -> Environment | None:
         return None
 
     def install(self, net: SensorNetwork, topology: Topology) -> None:
         return None
+
+    def install_shard(self, net: SensorNetwork, topology: Topology, region) -> None:
+        """Install this workload's share onto one region.
+
+        ``topology`` is the *full* deployment topology (for global decisions
+        like where a flood starts); ``net`` holds only the region's nodes.
+        The default delegates to :meth:`install`, which is correct whenever
+        installation is strictly per-node (idle, habitat): iterating the
+        region network's nodes covers exactly the region's share.
+        """
+        self.install(net, topology)
 
     def metrics(self, net: SensorNetwork) -> dict:
         return {}
@@ -92,6 +114,13 @@ class FloodWorkload(Workload):
     def install(self, net, topology):
         net.inject(firedetector(period_ticks=self.period_ticks), at=hub_of(topology))
 
+    def install_shard(self, net, topology, region):
+        # The flood starts at the full deployment's hub; only the region that
+        # owns it injects — the clones reach other regions over the seams.
+        hub = hub_of(topology)
+        if hub in set(region.locations):
+            net.inject(firedetector(period_ticks=self.period_ticks), at=hub)
+
     def metrics(self, net):
         return {"coverage": count_tagged(net, "fdt")}
 
@@ -102,6 +131,7 @@ class TrackerPerimeterWorkload(Workload):
     intruder sweeps diagonally back and forth across the field."""
 
     name = "tracker"
+    shard_safe = False  # the intruder field + chaser span the whole field
 
     def __init__(
         self,
@@ -189,6 +219,7 @@ class CourierWorkload(Workload):
     """
 
     name = "courier"
+    shard_safe = False  # a global sim.every loop dispatches from all sources
 
     def __init__(self, period_s: float = 2.0, sources: int = 3, payload_bytes: int = 8):
         if period_s <= 0:
@@ -261,6 +292,7 @@ class MixedTenantWorkload(Workload):
     monitors voluntarily free their resources."""
 
     name = "mixed"
+    shard_safe = False  # install mixes a global hub flood with per-node state
 
     def __init__(
         self,

@@ -1,0 +1,282 @@
+"""Drive a sharded scenario: inline (single-process) or multiprocess.
+
+Both modes execute the *identical* worker protocol over the *identical*
+partition; the only difference is whether the seam links are in-memory
+deques (``mode="inline"``) or OS pipes between forked workers
+(``mode="process"``).  Message sequences are lockstep either way — each
+worker's k-th receive from a neighbor is that neighbor's k-th send — so the
+two modes produce bit-identical counters.  That equivalence is the parity
+contract ``tests/test_shard.py`` pins: the inline mode *is* the
+single-process reference execution of the decomposition.
+
+Validation happens up front: sharding supports the deployment shapes whose
+cross-region interaction is entirely radio frames.  Mobility would move
+motes between regions (the ghost sets are static), adaptive neighborhoods
+and physical mode snoop the live field, and a base station is a global
+singleton — all are rejected with a clear error.  Node churn and duty
+cycling are fine: a powered-down boundary mote simply transmits nothing, so
+its mirrors stay implicitly correct.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+
+from repro.errors import NetworkError
+from repro.scenarios.spec import Scenario
+from repro.shard.partition import Partition, partition_topology
+from repro.shard.worker import Link, ShardWorker, neighbor_pairs
+from repro.topology import from_spec as topology_from_spec
+
+#: Keys of a flat result row that describe pacing rather than behavior.
+TIMING_KEYS = frozenset(
+    {"build_s", "wall_s", "events_per_s", "frames_per_s", "sim_x_real", "peak_rss_kb"}
+)
+
+#: Per-shard keys that are protocol bookkeeping, not summable behavior.
+_NON_AGGREGATED = frozenset({"shard", "build_s", "wall_s"})
+
+
+class _DequeLink:
+    """One directed in-memory seam link (inline mode)."""
+
+    __slots__ = ("outbound", "inbound")
+
+    def __init__(self, outbound: deque, inbound: deque):
+        self.outbound = outbound
+        self.inbound = inbound
+
+    def send(self, message) -> None:
+        self.outbound.append(message)
+
+    def recv(self):
+        return self.inbound.popleft()
+
+
+class _PipeLink:
+    """One duplex seam link over an OS pipe (process mode)."""
+
+    __slots__ = ("conn",)
+
+    def __init__(self, conn):
+        self.conn = conn
+
+    def send(self, message) -> None:
+        self.conn.send(message)
+
+    def recv(self):
+        return self.conn.recv()
+
+
+def _check_shardable(scenario: Scenario) -> None:
+    if scenario.physical:
+        raise NetworkError(
+            "sharded runs require filtered (non-physical) neighbor mode: "
+            "physical snooping reads the whole field"
+        )
+    if scenario.adaptive:
+        raise NetworkError(
+            "sharded runs require adaptive=False: live neighborhoods would "
+            "need cross-shard beacon state"
+        )
+    if scenario.base_station:
+        raise NetworkError(
+            "sharded runs require base_station=False: the base station is a "
+            "global singleton (inject agents via the workload instead)"
+        )
+    dynamics = scenario.dynamics or {}
+    if "mobility" in dynamics:
+        raise NetworkError(
+            "sharded runs do not support mobility: ghost mirror sets are "
+            "static (drop the dynamics 'mobility' section or run unsharded)"
+        )
+    from repro.scenarios.workloads import workload_from_spec
+
+    workload = workload_from_spec(scenario.workload)
+    if not getattr(workload, "shard_safe", False):
+        raise NetworkError(
+            f"workload {workload.name!r} is not shard-safe: it drives nodes "
+            "from a global scheduler (shard-safe kinds: idle, flood, habitat)"
+        )
+
+
+def _worker_stats(scenario: Scenario, partition: Partition, index: int, links) -> dict:
+    worker = ShardWorker(scenario, partition, index, links)
+    worker.run()
+    return worker.stats()
+
+
+def _process_main(scenario, partition, index, conns, result_conn):
+    try:
+        links = {j: _PipeLink(conn) for j, conn in conns.items()}
+        result_conn.send(("ok", _worker_stats(scenario, partition, index, links)))
+    except BaseException:  # noqa: BLE001 - forwarded verbatim to the parent
+        result_conn.send(("error", traceback.format_exc()))
+    finally:
+        result_conn.close()
+
+
+class ShardedRunner:
+    """Partition a scenario and run one simulator stack per region.
+
+    ``mode="process"`` forks one worker per region (the production path);
+    ``mode="inline"`` phase-steps every worker in this process — the
+    single-process reference the parity tests compare against.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario | dict | str,
+        *,
+        shards: int | None = None,
+        mode: str = "process",
+    ):
+        if not isinstance(scenario, Scenario):
+            scenario = Scenario.from_spec(scenario)
+        if mode not in ("process", "inline"):
+            raise NetworkError(f"unknown shard mode {mode!r}")
+        self.scenario = scenario
+        self.mode = mode
+        self.shards = scenario.shards if shards is None else shards
+        if self.shards < 1:
+            raise NetworkError(f"shards must be >= 1, got {self.shards}")
+        _check_shardable(scenario)
+        self.topology = topology_from_spec(scenario.topology)
+        self.partition = partition_topology(
+            self.topology, self.shards, spacing_m=scenario.spacing_m
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> "RunResult":
+        from repro.api import RunResult
+
+        started = time.perf_counter()
+        if self.mode == "inline":
+            per_shard = self._run_inline()
+        else:
+            per_shard = self._run_processes()
+        wall_s = time.perf_counter() - started
+        return self._aggregate(per_shard, wall_s)
+
+    # ------------------------------------------------------------------
+    def _links(self) -> list[dict[int, Link]]:
+        """Inline seam links: a deque per direction for every seam pair."""
+        links: list[dict[int, Link]] = [{} for _ in range(self.shards)]
+        for i, j in neighbor_pairs(self.partition):
+            i_to_j: deque = deque()
+            j_to_i: deque = deque()
+            links[i][j] = _DequeLink(outbound=i_to_j, inbound=j_to_i)
+            links[j][i] = _DequeLink(outbound=j_to_i, inbound=i_to_j)
+        return links
+
+    def _run_inline(self) -> list[dict]:
+        links = self._links()
+        workers = [
+            ShardWorker(self.scenario, self.partition, i, links[i])
+            for i in range(self.shards)
+        ]
+        active = [w for w in workers]
+        while active:
+            for worker in active:
+                worker.post_rounds()
+            active = [w for w in active if not w.finished]
+            for worker in active:
+                worker.collect_rounds()
+                worker.advance()
+        return [w.stats() for w in workers]
+
+    def _run_processes(self) -> list[dict]:
+        ctx = multiprocessing.get_context("fork")
+        conns: list[dict[int, object]] = [{} for _ in range(self.shards)]
+        for i, j in neighbor_pairs(self.partition):
+            a, b = ctx.Pipe(duplex=True)
+            conns[i][j] = a
+            conns[j][i] = b
+        results = []
+        processes = []
+        for i in range(self.shards):
+            parent_end, child_end = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_process_main,
+                args=(self.scenario, self.partition, i, conns[i], child_end),
+                name=f"shard-{i}",
+            )
+            process.start()
+            child_end.close()
+            for conn in conns[i].values():
+                conn.close()
+            processes.append(process)
+            results.append(parent_end)
+
+        per_shard: list[dict] = []
+        errors: list[str] = []
+        for i, conn in enumerate(results):
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                status, payload = "error", f"shard {i} died without a result"
+            if status == "ok":
+                per_shard.append(payload)
+            else:
+                errors.append(f"shard {i}:\n{payload}")
+        for process in processes:
+            process.join()
+        if errors:
+            raise NetworkError("sharded run failed:\n" + "\n".join(errors))
+        return per_shard
+
+    # ------------------------------------------------------------------
+    def _aggregate(self, per_shard: list[dict], wall_s: float) -> "RunResult":
+        from repro.api import RunResult
+
+        scenario = self.scenario
+        counters: dict = {
+            "scenario": scenario.name,
+            "nodes": len(self.topology),
+            "sim_s": scenario.duration_s,
+            "shards": self.shards,
+            "ghosts": sum(s.get("ghosts", 0) for s in per_shard),
+        }
+        keys: list[str] = []
+        for stats in per_shard:
+            for key in stats:
+                if key not in keys:
+                    keys.append(key)
+        for key in keys:
+            if key in _NON_AGGREGATED or key in counters:
+                continue
+            values = [s[key] for s in per_shard if key in s]
+            if values and all(isinstance(v, (int, float)) for v in values):
+                total = sum(values)
+                counters[key] = round(total, 6) if isinstance(total, float) else total
+        build_s = max((s.get("build_s", 0.0) for s in per_shard), default=0.0)
+        events = counters.get("events", 0)
+        frames = counters.get("frames", 0)
+        timings = {
+            "build_s": round(build_s, 4),
+            "wall_s": round(wall_s, 4),
+            "events_per_s": round(events / wall_s) if wall_s > 0 else 0,
+            "sim_x_real": round(scenario.duration_s / wall_s, 1) if wall_s > 0 else 0,
+            "frames_per_s": round(frames / wall_s, 1) if wall_s > 0 else 0,
+        }
+        return RunResult(
+            scenario=scenario.name,
+            seed=scenario.seed,
+            shards=self.shards,
+            mode=self.mode,
+            counters=counters,
+            timings=timings,
+            per_shard=tuple(per_shard),
+        )
+
+
+def cpu_count() -> int:
+    """Usable cores (affinity-aware) — what a speedup claim is honest against."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

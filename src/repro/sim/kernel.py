@@ -402,6 +402,26 @@ class Simulator:
             heapq.heappop(hazards)
         return hazards[0][0] if hazards else None
 
+    def next_event_time(self) -> int | None:
+        """Earliest pending event time (hazardous *or* benign), or None.
+
+        The sharded runtime's lookahead base: unlike
+        :meth:`next_hazard_time`, benign events count too — a benign
+        run-slice dispatch may execute a ``send`` opcode, so only the true
+        heap head bounds when new radio activity can start.  Cancelled heads
+        are retired exactly the way :meth:`run` retires them, so peeking
+        never perturbs the firing order.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if not entry[2].cancelled:
+                return entry[0]
+            popped = heapq.heappop(queue)
+            popped[2]._popped = True
+            self._last_key = (popped[0], popped[1])
+        return None
+
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events in the queue.
