@@ -96,6 +96,7 @@ from repro.topology import (
 # The run API and the sharded runtime sit atop the layers above; imported
 # last so the package initializes bottom-up without cycles.
 from repro.api import RunResult, run, run_scenario
+from repro.faults import FaultPlan
 from repro.shard import ShardedRunner
 
 __version__ = "1.1.0"
@@ -158,5 +159,6 @@ __all__ = [
     "run",
     "run_scenario",
     "ShardedRunner",
+    "FaultPlan",
     "__version__",
 ]

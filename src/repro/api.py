@@ -31,7 +31,11 @@ class RunResult:
     shards)`` — frames, drops, deliveries, coverage, per-workload metrics.
     ``timings`` holds pacing (build/wall seconds and derived rates).
     ``per_shard`` carries each worker's local stats for sharded runs
-    (empty for single-process runs).
+    (empty for single-process runs).  ``supervision`` reports runtime
+    self-healing — worker restarts, degradation to the inline driver — and
+    is kept apart from ``counters`` on purpose: a sharded run that survived
+    a worker crash produces counters bit-identical to an undisturbed run,
+    with only ``supervision`` recording that anything happened.
     """
 
     scenario: str
@@ -41,6 +45,7 @@ class RunResult:
     timings: dict
     mode: str = "single"
     per_shard: tuple[dict, ...] = field(default=())
+    supervision: dict = field(default_factory=dict)
 
     def as_row(self) -> dict:
         """The flat dict shape the bench tables and goldens use."""

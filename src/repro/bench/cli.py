@@ -8,6 +8,7 @@ Usage::
     python -m repro.bench kernel --out results/
     python -m repro.bench fanout --nodes 100,400,1000 --out results/
     python -m repro.bench shard --nodes 2500,10000 --workers 1,2,4
+    python -m repro.bench faults --seed 0 --out results/
     python -m repro.bench profile mobile-flood-400 --top 25
     python -m repro.bench compare results/BENCH_scale.json new/BENCH_scale.json
     python -m repro.bench trend week1/BENCH_scale.json week2/... week3/...
@@ -26,6 +27,7 @@ from repro.bench import (
     claims,
     compare,
     fanout,
+    faults,
     figures,
     mate_compare,
     memory_report,
@@ -179,6 +181,21 @@ def _shard(args) -> list[Table]:
     ]
 
 
+def _faults(args) -> list[Table]:
+    json_path = (
+        os.path.join(args.out, "BENCH_faults.json") if args.out else "BENCH_faults.json"
+    )
+    # The battery keeps its own duration/seed unless the flags were passed
+    # explicitly (argparse defaults are None under the shared parser).
+    return [
+        faults.run_fault_bench(
+            seed=args.seed if args.seed is not None else 0,
+            duration_s=args.duration if args.duration is not None else faults.DEFAULT_FAULT_SIM_S,
+            json_path=json_path,
+        )
+    ]
+
+
 def _kernel(args) -> list[Table]:
     json_path = (
         os.path.join(args.out, "BENCH_kernel.json") if args.out else "BENCH_kernel.json"
@@ -249,6 +266,7 @@ EXPERIMENTS = {
     "kernel": _kernel,
     "fanout": _fanout,
     "shard": _shard,
+    "faults": _faults,
 }
 
 
@@ -310,7 +328,7 @@ def main(argv: list[str] | None = None) -> int:
     # The scenario sweep, kernel battery, and shard sweep need to distinguish
     # "flag omitted" (None: keep their own defaults) from an explicit
     # override; resolve the shared defaults for everything else here.
-    if args.experiment not in ("scenario", "kernel", "fanout", "shard"):
+    if args.experiment not in ("scenario", "kernel", "fanout", "shard", "faults"):
         if args.seed is None:
             args.seed = 0
         if args.duration is None:
@@ -321,7 +339,8 @@ def main(argv: list[str] | None = None) -> int:
         # fan-out micro-benches, and the shard sweep are their own,
         # post-paper runs.
         names = sorted(
-            set(EXPERIMENTS) - {"fig10", "scale", "scenario", "kernel", "fanout", "shard"}
+            set(EXPERIMENTS)
+            - {"fig10", "scale", "scenario", "kernel", "fanout", "shard", "faults"}
         )
     else:
         names = [args.experiment]

@@ -1,0 +1,288 @@
+"""Resilience battery: what fault campaigns cost, and how fast runs recover.
+
+Six fixed-seed cases over one flood field (a 10×4 grid, 10 simulated
+seconds).  The first is the fault-free reference; four inject one node-level
+fault class each (link blackout, noise burst, mote crash+reboot with
+volatile-state loss, frame corruption); the last SIGKILLs a sharded worker
+mid-run and lets the supervisor heal it.  Every row reports delivery against
+the reference (``delivery_ratio``), the fault counters, and — where they
+apply — recovery time and restart accounting:
+
+* ``recovery_s`` (crash case): the run is stepped in 1 s slices next to an
+  identical fault-free build, and recovery is the first slice after the
+  reboot whose delivery rate is back within 90% of the reference slice —
+  measured from the reboot instant.
+* ``restarts``/``bitequal`` (self-heal case): supervisor restarts consumed,
+  and whether the healed run's behavior counters came out bit-identical to
+  the undisturbed sharded run (the recovery-by-re-execution contract; this
+  column should always read 1).
+
+Rows are keyed by ``case`` and carry ``events_per_s`` so the committed
+``results/BENCH_faults.json`` works with ``bench compare``'s regression gate
+and the weekly ``bench trend`` loop like every other artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.bench.reporting import Table, peak_rss_kb
+from repro.scenarios.spec import Scenario
+from repro.shard.runner import TIMING_KEYS, ShardedRunner, cpu_count
+
+DEFAULT_FAULT_SIM_S = 10.0
+#: Slice width for the recovery probe, and the delivery-rate band that
+#: counts as "recovered" (fraction of the fault-free slice's deliveries).
+RECOVERY_SLICE_S = 1.0
+RECOVERY_BAND = 0.9
+
+_FAULT_COUNTER_KEYS = (
+    "fault_events",
+    "fault_crashes",
+    "fault_reboots",
+    "fault_link_windows",
+    "fault_frames_corrupted",
+    "fault_agents_lost",
+)
+
+
+def fault_scenario(seed: int = 0, duration_s: float = DEFAULT_FAULT_SIM_S) -> dict:
+    """The battery's field: a 10×4 flood grid, busy enough that every fault
+    class visibly moves delivery, small enough for CI."""
+    return {
+        "name": "fault-battery",
+        "topology": {"kind": "grid", "width": 10, "height": 4},
+        "workload": {"kind": "flood"},
+        "duration_s": duration_s,
+        "seed": seed,
+        "spacing_m": 60.0,
+    }
+
+
+def _campaigns(duration_s: float) -> dict[str, dict]:
+    """The node-level fault campaigns, scaled to the battery duration.
+
+    Node targets sit at x=8–9, where the seed-0 flood wave keeps
+    retransmitting through the whole run — a fault window over idle motes
+    would measure nothing."""
+    mid = round(duration_s * 0.3, 1)
+    window = round(duration_s * 0.3, 1)
+    return {
+        "link-blackout": {
+            "events": [
+                {
+                    "kind": "link",
+                    "at_s": mid,
+                    "links": [[[8, 2], [9, 2]], [[8, 3], [9, 3]]],
+                    "prr": 0.0,
+                    "duration_s": window,
+                    "symmetric": True,
+                }
+            ]
+        },
+        "noise-burst": {
+            "events": [
+                {
+                    "kind": "noise",
+                    "at_s": mid,
+                    "nodes": [[8, 1], [8, 2], [8, 3], [8, 4]],
+                    "prr": 0.2,
+                    "duration_s": window,
+                }
+            ]
+        },
+        "mote-crash": {
+            "events": [
+                {
+                    "kind": "crash",
+                    "at_s": mid,
+                    "nodes": [[8, 2], [8, 3]],
+                    "reboot_s": window,
+                    "volatile": True,
+                }
+            ]
+        },
+        "frame-corruption": {
+            "events": [
+                {
+                    "kind": "corrupt",
+                    "at_s": mid,
+                    "probability": 0.25,
+                    "duration_s": window,
+                }
+            ]
+        },
+    }
+
+
+def _received(net) -> int:
+    return sum(radio.frames_received for radio in net.channel.radios)
+
+
+def _run_case(case: str, spec: dict, faults: dict | None) -> dict:
+    """Drive one single-process case end to end and flatten its row."""
+    scenario = dict(spec)
+    if faults is not None:
+        scenario["faults"] = faults
+    started = time.perf_counter()
+    deployed = Scenario.from_spec(scenario).build()
+    row = deployed.run()
+    wall_s = time.perf_counter() - started
+    result = {
+        "case": case,
+        "nodes": row["nodes"],
+        "sim_s": row["sim_s"],
+        "wall_s": round(wall_s, 4),
+        "events": row["events"],
+        "events_per_s": round(row["events"] / wall_s) if wall_s > 0 else 0,
+        "frames": row["frames"],
+        "frames_received": _received(deployed.net),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    for key in _FAULT_COUNTER_KEYS:
+        result[key] = row.get(key, 0)
+    return result
+
+
+def _measure_recovery(
+    spec: dict, faults: dict, fault_end_s: float, duration_s: float
+) -> float:
+    """Step a faulted build next to a fault-free twin in 1 s slices; recovery
+    is the first post-reboot slice back within ``RECOVERY_BAND`` of the
+    twin's delivery rate, measured from the reboot instant."""
+    reference = Scenario.from_spec(dict(spec)).build()
+    faulted = Scenario.from_spec(dict(spec, faults=faults)).build()
+    slices = int(round(duration_s / RECOVERY_SLICE_S))
+    ref_prev = bad_prev = 0
+    for index in range(slices):
+        reference.net.run(RECOVERY_SLICE_S)
+        faulted.net.run(RECOVERY_SLICE_S)
+        ref_delta = _received(reference.net) - ref_prev
+        bad_delta = _received(faulted.net) - bad_prev
+        ref_prev += ref_delta
+        bad_prev += bad_delta
+        slice_end = (index + 1) * RECOVERY_SLICE_S
+        if slice_end <= fault_end_s:
+            continue
+        if bad_delta >= RECOVERY_BAND * ref_delta:
+            return round(slice_end - fault_end_s, 1)
+    return round(duration_s - fault_end_s, 1)  # never recovered in-window
+
+
+def _run_selfheal(spec: dict, shards: int) -> dict:
+    """SIGKILL one sharded worker mid-run; report restart cost and whether
+    the healed counters are bit-identical to the undisturbed sharded run."""
+    kill_at = round(spec["duration_s"] * 0.4, 1)
+    victim = shards - 1
+    chaos = {"events": [{"kind": "worker_kill", "at_s": kill_at, "shard": victim}]}
+    undisturbed = ShardedRunner(
+        Scenario.from_spec(dict(spec, shards=shards))
+    ).run()
+    started = time.perf_counter()
+    healed = ShardedRunner(
+        Scenario.from_spec(dict(spec, shards=shards, faults=chaos))
+    ).run()
+    wall_s = time.perf_counter() - started
+    strip = lambda result: {  # noqa: E731 - tiny local projection
+        k: v for k, v in result.counters.items() if k not in TIMING_KEYS
+    }
+    row = {
+        "case": f"shard-selfheal-w{shards}",
+        "nodes": healed.counters["nodes"],
+        "sim_s": spec["duration_s"],
+        "wall_s": round(wall_s, 4),
+        "events": healed.counters["events"],
+        "events_per_s": healed.timings["events_per_s"],
+        "frames": healed.counters["frames"],
+        "frames_received": healed.counters.get("frames_received", 0),
+        "restarts": healed.supervision.get("restarts", 0),
+        "bitequal": int(strip(healed) == strip(undisturbed)),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    for key in _FAULT_COUNTER_KEYS:
+        row[key] = healed.counters.get(key, 0)
+    return row
+
+
+def run_fault_bench(
+    seed: int = 0,
+    duration_s: float = DEFAULT_FAULT_SIM_S,
+    shards: int = 2,
+    json_path: str | None = "BENCH_faults.json",
+) -> Table:
+    """The resilience battery; writes ``BENCH_faults.json`` unless disabled."""
+    spec = fault_scenario(seed=seed, duration_s=duration_s)
+    table = Table(
+        "faults",
+        "fault-injection resilience battery (fixed-seed campaigns + self-healing shards)",
+        [
+            "case",
+            "wall s",
+            "events/s",
+            "frames",
+            "received",
+            "delivery",
+            "faults",
+            "lost",
+            "recovery s",
+            "restarts",
+        ],
+    )
+    rows: list[dict] = []
+    baseline = _run_case("baseline", spec, None)
+    rows.append(baseline)
+    for case, campaign in _campaigns(duration_s).items():
+        row = _run_case(case, spec, campaign)
+        if case == "mote-crash":
+            event = campaign["events"][0]
+            fault_end_s = event["at_s"] + event["reboot_s"]
+            row["recovery_s"] = _measure_recovery(
+                spec, campaign, fault_end_s, duration_s
+            )
+        rows.append(row)
+    rows.append(_run_selfheal(spec, shards))
+    reference_received = baseline["frames_received"] or 1
+    for row in rows:
+        row["delivery_ratio"] = round(row["frames_received"] / reference_received, 3)
+        table.add_row(
+            row["case"],
+            row["wall_s"],
+            row["events_per_s"],
+            row["frames"],
+            row["frames_received"],
+            row["delivery_ratio"],
+            row.get("fault_events", 0),
+            row.get("fault_agents_lost", 0),
+            row.get("recovery_s", "-"),
+            row.get("restarts", "-"),
+        )
+    table.add_note(
+        f"seed {seed}, {duration_s:.0f} simulated seconds per case on "
+        f"{cpu_count()} usable core(s); delivery is frames received vs the "
+        "fault-free baseline; recovery is measured from the reboot instant "
+        f"to the first 1 s slice back within {RECOVERY_BAND:.0%} of the "
+        "baseline delivery rate; bitequal=1 on the self-heal row means the "
+        "restarted worker reproduced the undisturbed counters exactly"
+    )
+    selfheal = rows[-1]
+    if not selfheal.get("bitequal", 0):  # pragma: no cover - contract breach
+        table.add_note(
+            "WARNING: self-heal counters diverged from the undisturbed run"
+        )
+    if json_path:
+        payload = {
+            "experiment": "faults",
+            "seed": seed,
+            "duration_s": duration_s,
+            "cpus": cpu_count(),
+            "rows": rows,
+        }
+        directory = os.path.dirname(json_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        table.add_note(f"raw data saved to {json_path}")
+    return table

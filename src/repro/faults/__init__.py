@@ -1,0 +1,31 @@
+"""Fault injection: declarative, seeded fault campaigns over any deployment.
+
+:class:`FaultPlan` parses and validates the ``faults:`` scenario key (link
+degradation, noise bursts, mote crash/reboot with volatile-state loss, frame
+corruption, and process-level worker chaos); :class:`FaultInjector` applies a
+plan's node events to a live :class:`~repro.network.SensorNetwork`.  See
+:mod:`repro.faults.plan` for the spec schema and the determinism contract.
+"""
+
+from repro.faults.inject import FaultInjector, install_faults
+from repro.faults.plan import (
+    CorruptFault,
+    CrashFault,
+    FaultEvent,
+    FaultPlan,
+    LinkFault,
+    NoiseFault,
+    WorkerFault,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "install_faults",
+    "FaultEvent",
+    "LinkFault",
+    "NoiseFault",
+    "CrashFault",
+    "CorruptFault",
+    "WorkerFault",
+]

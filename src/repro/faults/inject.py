@@ -1,0 +1,203 @@
+"""Apply a :class:`~repro.faults.plan.FaultPlan` to a deployed network.
+
+The injector is the runtime half of the faults subsystem: it schedules every
+node-level event of a plan on the deployment's simulator (hazardous events —
+they mutate radio and middleware state other motes can observe) and, when the
+plan corrupts frames, chains itself in front of the channel's
+``on_transmission`` observer so the corrupted flag is set *before* the
+sharded runtime captures the frame into a seam envelope.
+
+All randomness comes from the simulator's seed-derived ``"faults"`` stream:
+fraction-based victim selection draws once per plan at install time, and
+frame corruption draws once per watched transmission inside its window — so
+a fixed-seed campaign replays bit-identically, inline or forked.
+
+Installing an *empty* plan is free by construction: :func:`install_faults`
+returns ``None``, schedules nothing, and leaves the channel hook untouched,
+keeping fault-free runs bit-for-bit identical to runs without this module.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+from repro.faults.plan import (
+    CorruptFault,
+    CrashFault,
+    FaultPlan,
+    LinkFault,
+    NoiseFault,
+)
+from repro.sim.units import seconds
+
+
+class FaultInjector:
+    """Schedules one plan's node events over one :class:`SensorNetwork`."""
+
+    def __init__(self, net, plan: FaultPlan):
+        self.net = net
+        self.plan = plan
+        self.channel = net.channel
+        self.rng = net.sim.rng("faults")
+        #: ``(start_us, end_us, watched mote ids or None, probability)`` —
+        #: consulted per transmission by the chained channel hook.
+        self._corrupt_windows: list[tuple[int, int, frozenset[int] | None, float]] = []
+        self._prev_hook = None
+        # Statistics (ints only: summable across shards, bit-deterministic).
+        self.fault_events = 0
+        self.fault_crashes = 0
+        self.fault_reboots = 0
+        self.fault_link_windows = 0
+        self.fault_frames_corrupted = 0
+        self.fault_agents_lost = 0
+
+        self._schedule(plan)
+
+    # ------------------------------------------------------------------
+    def _mote_id(self, loc) -> int:
+        from repro.location import Location
+
+        node = self.net.nodes.get(Location(loc[0], loc[1]))
+        if node is None:
+            raise NetworkError(f"fault plan references unknown node {loc}")
+        return node.mote.id
+
+    def _schedule(self, plan: FaultPlan) -> None:
+        sim = self.net.sim
+        for event in plan.node_events:
+            at = seconds(event.at_s)
+            if isinstance(event, LinkFault):
+                pairs = tuple(
+                    (self._mote_id(src), self._mote_id(dst)) for src, dst in event.links
+                )
+                sim.schedule_at(at, self._degrade, pairs, event.prr)
+                if event.duration_s is not None:
+                    sim.schedule_at(at + seconds(event.duration_s), self._restore, pairs)
+            elif isinstance(event, NoiseFault):
+                victims = event.nodes
+                if event.fraction is not None:
+                    field = sorted(
+                        (loc.x, loc.y) for loc in (n.location for n in self.net.field_nodes())
+                    )
+                    count = max(1, round(event.fraction * len(field)))
+                    victims = tuple(sorted(self.rng.sample(field, min(count, len(field)))))
+                ids = tuple(self._mote_id(v) for v in victims)
+                sim.schedule_at(at, self._noise_on, ids, event.prr)
+                if event.duration_s is not None:
+                    sim.schedule_at(at + seconds(event.duration_s), self._noise_off, ids)
+            elif isinstance(event, CrashFault):
+                for loc in event.nodes:
+                    sim.schedule_at(at, self._crash, loc, event.volatile)
+                    if event.reboot_s is not None:
+                        sim.schedule_at(at + seconds(event.reboot_s), self._reboot, loc)
+            elif isinstance(event, CorruptFault):
+                watch = (
+                    frozenset(self._mote_id(n) for n in event.nodes)
+                    if event.nodes is not None
+                    else None
+                )
+                end = (
+                    at + seconds(event.duration_s)
+                    if event.duration_s is not None
+                    else 1 << 62
+                )
+                self._corrupt_windows.append((at, end, watch, event.probability))
+        if self._corrupt_windows:
+            self._prev_hook = self.channel.on_transmission
+            self.channel.on_transmission = self._on_transmission
+
+    # ------------------------------------------------------------------
+    # Link degradation / noise bursts (receiver-side PRR overrides)
+    # ------------------------------------------------------------------
+    def _degrade(self, pairs, prr: float) -> None:
+        overrides = self.channel.prr_overrides
+        for pair in pairs:
+            overrides[pair] = prr
+        self.fault_events += 1
+        self.fault_link_windows += 1
+
+    def _restore(self, pairs) -> None:
+        overrides = self.channel.prr_overrides
+        for pair in pairs:
+            overrides.pop(pair, None)
+        self.fault_events += 1
+
+    def _noise_on(self, victim_ids, prr: float) -> None:
+        # Enumerate transmitters at fire time: every radio currently on the
+        # medium (including shard ghosts, whose replays consult the same
+        # overrides) can be the interfered-with sender.
+        overrides = self.channel.prr_overrides
+        for victim in victim_ids:
+            for radio in self.channel.radios:
+                src = radio.mote.id
+                if src != victim:
+                    overrides[(src, victim)] = prr
+        self.fault_events += 1
+        self.fault_link_windows += 1
+
+    def _noise_off(self, victim_ids) -> None:
+        overrides = self.channel.prr_overrides
+        victims = set(victim_ids)
+        for pair in [p for p in overrides if p[1] in victims]:
+            del overrides[pair]
+        self.fault_events += 1
+
+    # ------------------------------------------------------------------
+    # Mote crash / reboot with volatile-state semantics
+    # ------------------------------------------------------------------
+    def _crash(self, loc, volatile: bool) -> None:
+        net = self.net
+        net.fail_node(loc)
+        if volatile:
+            middleware = net.middleware(loc)
+            for agent in list(middleware.agents()):
+                middleware.agent_manager.kill(agent, "mote crashed")
+                self.fault_agents_lost += 1
+            # RAM is gone: rebuild the tuple-space arena and reaction registry
+            # from scratch (agent kills above already drained their reactions
+            # and wait-queue entries; this clears application *data* tuples).
+            manager = middleware.tuplespace_manager
+            manager.space = type(manager.space)(manager.space.capacity)
+            manager.registry = type(manager.registry)(manager.registry.capacity)
+        self.fault_events += 1
+        self.fault_crashes += 1
+
+    def _reboot(self, loc) -> None:
+        self.net.recover_node(loc)
+        self.fault_events += 1
+        self.fault_reboots += 1
+
+    # ------------------------------------------------------------------
+    # Frame corruption (chained in front of any shard capture hook)
+    # ------------------------------------------------------------------
+    def _on_transmission(self, tx) -> None:
+        # Ghost replays arrive pre-flagged from their home region (and their
+        # radios are disabled) — never re-draw for them.
+        if tx.radio.enabled and not tx.corrupted:
+            start = tx.start
+            for begin, end, watch, probability in self._corrupt_windows:
+                if begin <= start < end and (watch is None or tx.radio.mote.id in watch):
+                    if self.rng.random() < probability:
+                        tx.corrupted = True
+                        self.fault_frames_corrupted += 1
+                    break
+        if self._prev_hook is not None:
+            self._prev_hook(tx)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Deterministic fault counters, merged into run/shard rows."""
+        return {
+            "fault_events": self.fault_events,
+            "fault_crashes": self.fault_crashes,
+            "fault_reboots": self.fault_reboots,
+            "fault_link_windows": self.fault_link_windows,
+            "fault_frames_corrupted": self.fault_frames_corrupted,
+            "fault_agents_lost": self.fault_agents_lost,
+        }
+
+
+def install_faults(net, plan: FaultPlan | None) -> FaultInjector | None:
+    """Install a plan's node events; ``None``/empty installs nothing at all."""
+    if plan is None or plan.empty or not plan.node_events:
+        return None
+    return FaultInjector(net, plan)

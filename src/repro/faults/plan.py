@@ -1,0 +1,423 @@
+"""Declarative fault plans: timed, seeded fault events as data.
+
+The paper's core claim is that agent-based applications *survive* a hostile
+field — crashed motes, lossy links, partitions — so faults must be as
+declarative and reproducible as everything else in a scenario.  A
+:class:`FaultPlan` is a plain dict/JSON spec (the ``faults:`` scenario key)
+composing timed fault events::
+
+    {"events": [
+        {"kind": "link", "at_s": 2.0, "duration_s": 3.0,
+         "links": [[[1, 1], [2, 1]]], "prr": 0.0, "symmetric": true},
+        {"kind": "noise", "at_s": 4.0, "duration_s": 1.0,
+         "nodes": [[3, 2]], "prr": 0.1},
+        {"kind": "crash", "at_s": 5.0, "nodes": [[2, 2]],
+         "reboot_s": 2.0, "volatile": true},
+        {"kind": "corrupt", "at_s": 1.0, "duration_s": 2.0,
+         "nodes": [[1, 2]], "probability": 0.5},
+        {"kind": "worker_kill", "at_s": 1.5, "shard": 1},
+    ]}
+
+Event kinds:
+
+``link``
+    Degrade explicit directed links (``[[src, dst], ...]`` location pairs) to
+    ``prr`` for a window, via :attr:`Channel.prr_overrides` — cache-bypassing,
+    so the very next delivery feels it.  ``symmetric`` degrades both
+    directions.  Omitting ``duration_s`` makes the damage permanent.
+``noise``
+    A receiver-side noise burst: every link *into* each victim node is
+    degraded to ``prr`` for the window.  Victims are an explicit ``nodes``
+    list, or (single-process runs only) a ``fraction`` drawn from the
+    seed-derived ``"faults"`` RNG stream.
+``crash``
+    Mote crash: the radio goes down and, with ``volatile`` (the default),
+    RAM-resident state dies with it — hosted agents are killed and the tuple
+    space and reaction registry are wiped.  ``volatile: false`` models
+    flash-persisted state: the node returns with its memory intact.
+    ``reboot_s`` recovers the radio that many seconds after the crash.
+``corrupt``
+    Frame corruption at the transmitter: during the window, each frame sent
+    by a victim node (``nodes``; omitted = every node) is marked corrupted
+    with ``probability``, drawn from the ``"faults"`` stream.  A corrupted
+    frame still occupies the air — carrier sense and collisions stay exact —
+    but no receiver passes CRC.
+``worker_kill`` / ``worker_hang``
+    Process-level chaos for the sharded runtime: SIGKILL (or hang, for
+    ``hang_s`` seconds — omitted means forever) the worker driving ``shard``
+    at ``at_s`` simulated seconds.  Applied only on a worker's first
+    incarnation, so supervised recovery replays cleanly; ignored by the
+    inline driver (which is the undisturbed parity reference).
+
+Determinism contract: every random choice a plan makes is drawn from the
+simulator's seed-derived ``"faults"`` stream, so a fixed-seed campaign
+replays bit-identically — and an empty/absent plan installs nothing at all,
+leaving the run bit-for-bit identical to one without the faults layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.errors import NetworkError
+
+Loc = tuple[int, int]
+
+#: Event kinds that target motes (routed to the owning shard region) vs the
+#: forked workers themselves (consumed by the sharded runtime's supervisor).
+NODE_KINDS = frozenset({"link", "noise", "crash", "corrupt"})
+PROCESS_KINDS = frozenset({"worker_kill", "worker_hang"})
+
+_COMMON_KEYS = frozenset({"kind", "at_s"})
+_EVENT_KEYS = {
+    "link": _COMMON_KEYS | {"duration_s", "links", "prr", "symmetric"},
+    "noise": _COMMON_KEYS | {"duration_s", "nodes", "fraction", "prr"},
+    "crash": _COMMON_KEYS | {"nodes", "reboot_s", "volatile"},
+    "corrupt": _COMMON_KEYS | {"duration_s", "nodes", "probability"},
+    "worker_kill": _COMMON_KEYS | {"shard"},
+    "worker_hang": _COMMON_KEYS | {"shard", "hang_s"},
+}
+
+
+def _loc(value, what: str) -> Loc:
+    try:
+        x, y = value
+        return (int(x), int(y))
+    except (TypeError, ValueError):
+        raise NetworkError(f"{what} must be an [x, y] location: {value!r}") from None
+
+
+def _locs(value, what: str) -> tuple[Loc, ...]:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise NetworkError(f"{what} must be a non-empty list of [x, y] locations")
+    return tuple(_loc(entry, what) for entry in value)
+
+
+def _prr(value, what: str) -> float:
+    prr = float(value)
+    if not (0.0 <= prr <= 1.0):
+        raise NetworkError(f"{what} must be in [0, 1]: {value!r}")
+    return prr
+
+
+def _window(spec: dict) -> float | None:
+    if "duration_s" not in spec:
+        return None
+    duration = float(spec["duration_s"])
+    if duration <= 0:
+        raise NetworkError(f"fault duration_s must be positive: {duration}")
+    return duration
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base: every fault fires at ``at_s`` simulated seconds."""
+
+    kind: str
+    at_s: float
+
+
+@dataclass(frozen=True)
+class LinkFault(FaultEvent):
+    """Degrade explicit directed links to ``prr`` for a window."""
+
+    links: tuple[tuple[Loc, Loc], ...] = ()
+    prr: float = 0.0
+    duration_s: float | None = None
+
+    @property
+    def directed(self) -> tuple[tuple[Loc, Loc], ...]:
+        return self.links
+
+
+@dataclass(frozen=True)
+class NoiseFault(FaultEvent):
+    """Degrade every link into each victim node for a window."""
+
+    nodes: tuple[Loc, ...] = ()
+    fraction: float | None = None
+    prr: float = 0.0
+    duration_s: float | None = None
+
+
+@dataclass(frozen=True)
+class CrashFault(FaultEvent):
+    """Mote crash (optionally rebooting), volatile state lost or persisted."""
+
+    nodes: tuple[Loc, ...] = ()
+    reboot_s: float | None = None
+    volatile: bool = True
+
+
+@dataclass(frozen=True)
+class CorruptFault(FaultEvent):
+    """Probabilistic frame corruption at the transmitter for a window."""
+
+    nodes: tuple[Loc, ...] | None = None  # None = every transmitter
+    probability: float = 1.0
+    duration_s: float | None = None
+
+
+@dataclass(frozen=True)
+class WorkerFault(FaultEvent):
+    """Process chaos: kill or hang the forked worker driving ``shard``."""
+
+    shard: int = 0
+    hang_s: float | None = None
+
+
+def _parse_event(spec) -> FaultEvent:
+    if not isinstance(spec, dict):
+        raise NetworkError(f"fault event must be a dict: {spec!r}")
+    kind = spec.get("kind")
+    if kind not in _EVENT_KEYS:
+        known = ", ".join(sorted(_EVENT_KEYS))
+        raise NetworkError(f"unknown fault kind {kind!r} (expected one of {known})")
+    unknown = set(spec) - _EVENT_KEYS[kind]
+    if unknown:
+        raise NetworkError(f"unknown {kind} fault keys: {sorted(unknown)}")
+    if "at_s" not in spec:
+        raise NetworkError(f"{kind} fault event requires 'at_s'")
+    at_s = float(spec["at_s"])
+    if at_s < 0:
+        raise NetworkError(f"fault at_s must be non-negative: {at_s}")
+
+    if kind == "link":
+        raw = spec.get("links")
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise NetworkError("link fault requires 'links': [[src, dst], ...]")
+        pairs = []
+        for entry in raw:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise NetworkError(f"link fault entries are [src, dst] pairs: {entry!r}")
+            src, dst = _loc(entry[0], "link src"), _loc(entry[1], "link dst")
+            pairs.append((src, dst))
+            if spec.get("symmetric", False):
+                pairs.append((dst, src))
+        return LinkFault(
+            kind=kind,
+            at_s=at_s,
+            links=tuple(pairs),
+            prr=_prr(spec.get("prr", 0.0), "link prr"),
+            duration_s=_window(spec),
+        )
+    if kind == "noise":
+        nodes = spec.get("nodes")
+        fraction = spec.get("fraction")
+        if (nodes is None) == (fraction is None):
+            raise NetworkError("noise fault takes exactly one of 'nodes' or 'fraction'")
+        if fraction is not None and not (0.0 < float(fraction) <= 1.0):
+            raise NetworkError(f"noise fraction must be in (0, 1]: {fraction!r}")
+        return NoiseFault(
+            kind=kind,
+            at_s=at_s,
+            nodes=_locs(nodes, "noise nodes") if nodes is not None else (),
+            fraction=float(fraction) if fraction is not None else None,
+            prr=_prr(spec.get("prr", 0.0), "noise prr"),
+            duration_s=_window(spec),
+        )
+    if kind == "crash":
+        reboot_s = spec.get("reboot_s")
+        if reboot_s is not None and float(reboot_s) <= 0:
+            raise NetworkError(f"crash reboot_s must be positive: {reboot_s!r}")
+        return CrashFault(
+            kind=kind,
+            at_s=at_s,
+            nodes=_locs(spec.get("nodes"), "crash nodes"),
+            reboot_s=float(reboot_s) if reboot_s is not None else None,
+            volatile=bool(spec.get("volatile", True)),
+        )
+    if kind == "corrupt":
+        nodes = spec.get("nodes")
+        return CorruptFault(
+            kind=kind,
+            at_s=at_s,
+            nodes=_locs(nodes, "corrupt nodes") if nodes is not None else None,
+            probability=_prr(spec.get("probability", 1.0), "corrupt probability"),
+            duration_s=_window(spec),
+        )
+    # worker_kill / worker_hang
+    shard = spec.get("shard")
+    if not isinstance(shard, int) or shard < 0:
+        raise NetworkError(f"{kind} fault requires a non-negative 'shard': {shard!r}")
+    hang_s = spec.get("hang_s")
+    if hang_s is not None and float(hang_s) <= 0:
+        raise NetworkError(f"worker_hang hang_s must be positive: {hang_s!r}")
+    return WorkerFault(
+        kind=kind,
+        at_s=at_s,
+        shard=shard,
+        hang_s=float(hang_s) if hang_s is not None else None,
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, validated campaign of fault events.
+
+    Built from a spec via :meth:`from_spec`; an empty plan is the explicit
+    spelling of "no faults" and installs nothing (the bit-identity contract).
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    @classmethod
+    def from_spec(cls, spec: "FaultPlan | dict | list | str | Path | None") -> "FaultPlan":
+        """Build from ``None``, a dict (``{"events": [...]}``), a bare event
+        list, a JSON file path, or an existing plan (passed through)."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, FaultPlan):
+            return spec
+        if isinstance(spec, (str, Path)):
+            try:
+                spec = json.loads(Path(spec).read_text())
+            except OSError as error:
+                raise NetworkError(f"unreadable fault plan {str(spec)!r}: {error}") from error
+            except json.JSONDecodeError as error:
+                raise NetworkError(f"malformed fault plan JSON: {error}") from error
+        if isinstance(spec, dict):
+            unknown = set(spec) - {"events"}
+            if unknown:
+                raise NetworkError(f"unknown fault plan keys: {sorted(unknown)}")
+            spec = spec.get("events", [])
+        if not isinstance(spec, (list, tuple)):
+            raise NetworkError(f"fault plan must be a dict or event list: {spec!r}")
+        events = tuple(sorted((_parse_event(entry) for entry in spec), key=lambda e: e.at_s))
+        return cls(events=events)
+
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    @property
+    def node_events(self) -> tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind in NODE_KINDS)
+
+    @property
+    def process_events(self) -> tuple[WorkerFault, ...]:
+        return tuple(e for e in self.events if e.kind in PROCESS_KINDS)
+
+    # ------------------------------------------------------------------
+    def _known_locations(self) -> set[Loc]:
+        known: set[Loc] = set()
+        for event in self.node_events:
+            if isinstance(event, LinkFault):
+                for src, dst in event.links:
+                    known.update((src, dst))
+            elif getattr(event, "nodes", None):
+                known.update(event.nodes)
+        return known
+
+    def validate_against(self, topology) -> None:
+        """Fail fast on nodes the deployment does not contain."""
+        present = {(loc.x, loc.y) for loc in topology.locations()}
+        unknown = sorted(self._known_locations() - present)
+        if unknown:
+            raise NetworkError(f"fault plan references unknown nodes: {unknown}")
+
+    def validate_sharded(self, shards: int) -> None:
+        """The extra constraints of a sharded run: explicit victims only
+        (fraction draws cannot be coordinated across per-region RNG streams)
+        and chaos targets that actually exist."""
+        for event in self.node_events:
+            if isinstance(event, NoiseFault) and event.fraction is not None:
+                raise NetworkError(
+                    "sharded runs require explicit noise victim 'nodes': a "
+                    "'fraction' draw cannot span per-region RNG streams"
+                )
+        for event in self.process_events:
+            if event.shard >= shards:
+                raise NetworkError(
+                    f"fault plan targets worker {event.shard} but the run has "
+                    f"{shards} shard(s)"
+                )
+
+    # ------------------------------------------------------------------
+    def for_region(self, partition, index: int) -> "FaultPlan":
+        """The node events region ``index`` must apply locally.
+
+        Routing rule: an event lands where its *effect* is decided — link and
+        noise degradation at the receiver's home region (delivery is resolved
+        there; ghost replays consult the same overrides), crash/reboot at the
+        victim's owner, corruption at the transmitter's owner (the corrupted
+        flag rides the seam envelope).
+        """
+        owned = {(loc.x, loc.y) for loc in partition.regions[index].locations}
+        kept: list[FaultEvent] = []
+        for event in self.node_events:
+            if isinstance(event, LinkFault):
+                links = tuple(pair for pair in event.links if pair[1] in owned)
+                if links:
+                    kept.append(replace(event, links=links))
+            elif isinstance(event, NoiseFault):
+                nodes = tuple(n for n in event.nodes if n in owned)
+                if nodes:
+                    kept.append(replace(event, nodes=nodes))
+            elif isinstance(event, CrashFault):
+                nodes = tuple(n for n in event.nodes if n in owned)
+                if nodes:
+                    kept.append(replace(event, nodes=nodes))
+            elif isinstance(event, CorruptFault):
+                if event.nodes is None:
+                    kept.append(event)  # every region corrupts its own senders
+                else:
+                    nodes = tuple(n for n in event.nodes if n in owned)
+                    if nodes:
+                        kept.append(replace(event, nodes=nodes))
+        return FaultPlan(events=tuple(kept))
+
+    # ------------------------------------------------------------------
+    def last_fault_end_s(self) -> float:
+        """When the campaign's last scheduled disturbance ends (for recovery
+        measurement): the max over event windows/reboots, 0.0 when empty."""
+        end = 0.0
+        for event in self.events:
+            until = event.at_s
+            duration = getattr(event, "duration_s", None)
+            if duration is not None:
+                until += duration
+            reboot = getattr(event, "reboot_s", None)
+            if reboot is not None:
+                until += reboot
+            end = max(end, until)
+        return end
+
+    def to_spec(self) -> dict:
+        """The plain-dict round trip (JSON-serializable)."""
+        events = []
+        for event in self.events:
+            entry: dict = {"kind": event.kind, "at_s": event.at_s}
+            if isinstance(event, LinkFault):
+                entry["links"] = [[list(src), list(dst)] for src, dst in event.links]
+                entry["prr"] = event.prr
+                if event.duration_s is not None:
+                    entry["duration_s"] = event.duration_s
+            elif isinstance(event, NoiseFault):
+                if event.fraction is not None:
+                    entry["fraction"] = event.fraction
+                else:
+                    entry["nodes"] = [list(n) for n in event.nodes]
+                entry["prr"] = event.prr
+                if event.duration_s is not None:
+                    entry["duration_s"] = event.duration_s
+            elif isinstance(event, CrashFault):
+                entry["nodes"] = [list(n) for n in event.nodes]
+                entry["volatile"] = event.volatile
+                if event.reboot_s is not None:
+                    entry["reboot_s"] = event.reboot_s
+            elif isinstance(event, CorruptFault):
+                if event.nodes is not None:
+                    entry["nodes"] = [list(n) for n in event.nodes]
+                entry["probability"] = event.probability
+                if event.duration_s is not None:
+                    entry["duration_s"] = event.duration_s
+            elif isinstance(event, WorkerFault):
+                entry["shard"] = event.shard
+                if event.hang_s is not None:
+                    entry["hang_s"] = event.hang_s
+            events.append(entry)
+        return {"events": events}

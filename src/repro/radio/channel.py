@@ -74,6 +74,10 @@ class Transmission:
     #: :meth:`Channel.begin_transmission`) — the collision set, precomputed,
     #: so end-of-frame never scans transmission history.
     overlaps: list["Transmission"] | None = None
+    #: Fault injection: a corrupted frame occupies the air (carrier sense and
+    #: collision accounting stay exact) but fails CRC at every receiver, so
+    #: end-of-frame skips the delivery fan-out entirely.
+    corrupted: bool = False
 
 
 class Radio:
@@ -302,6 +306,7 @@ class Channel:
         self.frames_transmitted = 0
         self.collisions = 0
         self.prr_drops = 0
+        self.corrupted_frames = 0
         self.mac_giveups = 0
         self.full_invalidations = 0
         self.index_moves = 0
@@ -577,6 +582,12 @@ class Channel:
         transmission history.
         """
         self._on_air.remove(tx)
+        if tx.corrupted:
+            # Injected corruption: the frame jammed the medium for its full
+            # airtime but no receiver passes CRC — no eligibility checks, no
+            # RNG draws, no deliveries.
+            self.corrupted_frames += 1
+            return
         hearers = self.hearers(tx.radio)
         if not hearers:
             return  # nobody in range: skip the fan-out entirely

@@ -53,6 +53,7 @@ _SCENARIO_KEYS = frozenset(
         "expiry_intervals",
         "beacon_period_s",
         "shards",
+        "faults",
     }
 )
 
@@ -70,6 +71,10 @@ class ScenarioRun:
     #: Channel full-invalidation count right after the build; anything above
     #: this during the run means the hearer index was rebuilt mid-flight.
     invalidations_at_build: int
+    #: Installed fault injector, or ``None`` for a fault-free deployment
+    #: (``None`` guarantees zero scheduling/RNG footprint — the bit-parity
+    #: contract with builds that predate the faults subsystem).
+    injector: object | None = None
 
     def run(self) -> dict:
         """Drive the clock for the scenario's duration and report metrics."""
@@ -99,6 +104,8 @@ class ScenarioRun:
             "index_rebuilds": channel.full_invalidations - self.invalidations_at_build,
         }
         result.update(self.dynamics.stats())
+        if self.injector is not None:
+            result.update(self.injector.stats())
         result.update(self.workload.metrics(net))
         return result
 
@@ -127,6 +134,11 @@ class Scenario:
     #: Spatial shards: 1 runs the classic single simulator; >1 partitions the
     #: field into regions driven by :class:`repro.shard.ShardedRunner`.
     shards: int = 1
+    #: Fault-injection campaign (``repro.faults.FaultPlan`` spec): link
+    #: degradation, noise bursts, mote crash/reboot, frame corruption, and —
+    #: sharded only — process-level worker chaos.  ``None`` injects nothing
+    #: and leaves the run bit-identical to a scenario without the key.
+    faults: dict | None = None
 
     @classmethod
     def from_spec(cls, spec: dict | str | Path) -> "Scenario":
@@ -178,6 +190,17 @@ class Scenario:
         dynamics = dynamics_from_spec(net, self.dynamics)
         workload.install(net, topology)
         dynamics.start()
+        from repro.faults import FaultPlan, install_faults
+
+        plan = FaultPlan.from_spec(self.faults)
+        plan.validate_against(topology)
+        if plan.process_events:
+            raise NetworkError(
+                "process-level fault events (worker_kill/worker_hang) require "
+                "a sharded run (shards > 1): a single-process run has no "
+                "workers to kill"
+            )
+        injector = install_faults(net, plan)
         build_s = time.perf_counter() - started
         return ScenarioRun(
             scenario=self,
@@ -187,6 +210,7 @@ class Scenario:
             workload=workload,
             build_s=build_s,
             invalidations_at_build=net.channel.full_invalidations,
+            injector=injector,
         )
 
     def run(self) -> dict:
@@ -224,4 +248,6 @@ class Scenario:
             )
         if self.dynamics is not None:
             spec["dynamics"] = dict(self.dynamics)
+        if self.faults is not None:
+            spec["faults"] = dict(self.faults)
         return spec

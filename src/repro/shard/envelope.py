@@ -42,6 +42,9 @@ class TxEnvelope:
     dest: int
     am_type: int
     payload: bytes
+    #: Fault injection: the frame was corrupted at its home region's
+    #: transmitter, so its ghost replay must jam the seam without delivering.
+    corrupted: bool = False
 
     @property
     def merge_key(self) -> tuple[int, int, int]:

@@ -1,13 +1,29 @@
-"""Drive a sharded scenario: inline (single-process) or multiprocess.
+"""Drive a sharded scenario: inline (single-process) or supervised multiprocess.
 
 Both modes execute the *identical* worker protocol over the *identical*
-partition; the only difference is whether the seam links are in-memory
-deques (``mode="inline"``) or OS pipes between forked workers
-(``mode="process"``).  Message sequences are lockstep either way — each
-worker's k-th receive from a neighbor is that neighbor's k-th send — so the
-two modes produce bit-identical counters.  That equivalence is the parity
-contract ``tests/test_shard.py`` pins: the inline mode *is* the
-single-process reference execution of the decomposition.
+partition; the only difference is the seam transport.  Inline mode wires
+workers together with in-memory deques and phase-steps them in this process.
+Process mode forks one worker per region and connects every worker to the
+parent over a single duplex pipe — a **hub-and-spoke** topology in which the
+parent routes each seam round to its destination worker.  Message sequences
+are lockstep either way — each worker's k-th receive from a neighbor is that
+neighbor's k-th send — so the two modes produce bit-identical counters.
+That equivalence is the parity contract ``tests/test_shard.py`` pins: the
+inline mode *is* the single-process reference execution of the decomposition.
+
+The hub exists for **supervision**.  Because every seam round passes through
+the parent, the parent logs each one before forwarding it, and that log is a
+complete prefix of the deterministic message sequence.  When a worker dies
+(fault-injection chaos, OOM kill, a real crash) the parent therefore holds
+everything needed for recovery by re-execution: it forks a replacement from
+t=0 whose already-received rounds are pre-seeded from the log (``replay``)
+and whose already-delivered sends are suppressed (``suppress``), and the
+replacement fast-forwards to the crash point producing the exact same bytes
+the first incarnation produced.  Liveness is watched via per-round
+heartbeats: a worker that stops heartbeating past the hang deadline turns
+into a bounded-time :class:`~repro.errors.NetworkError` (never a parent
+deadlock), and a worker that keeps dying past ``max_restarts`` degrades the
+run to the inline driver — slower, but it completes.
 
 Validation happens up front: sharding supports the deployment shapes whose
 cross-region interaction is entirely radio frames.  Mobility would move
@@ -22,11 +38,15 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal as signal_module
 import time
 import traceback
 from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
 
 from repro.errors import NetworkError
+from repro.faults.plan import FaultPlan
 from repro.scenarios.spec import Scenario
 from repro.shard.partition import Partition, partition_topology
 from repro.shard.worker import Link, ShardWorker, neighbor_pairs
@@ -57,19 +77,69 @@ class _DequeLink:
         return self.inbound.popleft()
 
 
-class _PipeLink:
-    """One duplex seam link over an OS pipe (process mode)."""
+class _WorkerHub:
+    """Worker-side hub endpoint: one duplex pipe to the parent, demultiplexed.
 
-    __slots__ = ("conn",)
+    Outbound rounds are tagged with their destination shard; inbound messages
+    are sorted into per-sender queues (a ``recv`` for neighbor *j* drains the
+    pipe until *j*'s queue is non-empty — per-pair FIFO order is preserved,
+    which is all the lockstep protocol needs).  A restarted worker starts
+    with its queues pre-seeded from the parent's message log (``replay``) and
+    its first ``suppress[j]`` sends to each neighbor swallowed — those bytes
+    already reached *j* before the previous incarnation died.
+    """
 
-    def __init__(self, conn):
+    def __init__(self, conn, neighbors, replay=None, suppress=None):
         self.conn = conn
+        self.queues = {
+            j: deque((replay or {}).get(j, ())) for j in neighbors
+        }
+        self.suppress = dict(suppress or {})
+
+    def link(self, peer: int) -> "_HubLink":
+        return _HubLink(self, peer)
+
+    def send_round(self, peer: int, message) -> None:
+        remaining = self.suppress.get(peer, 0)
+        if remaining:
+            self.suppress[peer] = remaining - 1
+            return
+        self.conn.send(("round", peer, message))
+
+    def recv_round(self, peer: int):
+        queue = self.queues[peer]
+        while not queue:
+            kind, sender, payload = self.conn.recv()
+            self.queues[sender].append(payload)
+        return queue.popleft()
+
+    def heartbeat(self, rounds: int) -> None:
+        self.conn.send(("hb", rounds))
+
+
+class _HubLink:
+    """One worker's view of one seam neighbor, multiplexed over the hub."""
+
+    __slots__ = ("hub", "peer")
+
+    def __init__(self, hub: _WorkerHub, peer: int):
+        self.hub = hub
+        self.peer = peer
 
     def send(self, message) -> None:
-        self.conn.send(message)
+        self.hub.send_round(self.peer, message)
 
     def recv(self):
-        return self.conn.recv()
+        return self.hub.recv_round(self.peer)
+
+
+def _neighbor_sets(partition: Partition) -> dict[int, tuple[int, ...]]:
+    """Seam neighbors per region, symmetric (same keying as inline links)."""
+    neighbors: dict[int, set[int]] = {i: set() for i in range(partition.shards)}
+    for i, j in neighbor_pairs(partition):
+        neighbors[i].add(j)
+        neighbors[j].add(i)
+    return {i: tuple(sorted(v)) for i, v in neighbors.items()}
 
 
 def _check_shardable(scenario: Scenario) -> None:
@@ -104,28 +174,77 @@ def _check_shardable(scenario: Scenario) -> None:
         )
 
 
-def _worker_stats(scenario: Scenario, partition: Partition, index: int, links) -> dict:
-    worker = ShardWorker(scenario, partition, index, links)
-    worker.run()
-    return worker.stats()
-
-
-def _process_main(scenario, partition, index, conns, result_conn):
+def _process_main(scenario, partition, index, conn, incarnation, replay, suppress):
     try:
-        links = {j: _PipeLink(conn) for j, conn in conns.items()}
-        result_conn.send(("ok", _worker_stats(scenario, partition, index, links)))
+        neighbors = _neighbor_sets(partition)[index]
+        hub = _WorkerHub(conn, neighbors, replay=replay, suppress=suppress)
+        worker = ShardWorker(
+            scenario,
+            partition,
+            index,
+            {j: hub.link(j) for j in neighbors},
+            incarnation=incarnation,
+            process_chaos=True,
+        )
+        hub.heartbeat(0)  # built: resets the parent's liveness deadline
+        worker.run(on_round=hub.heartbeat)
+        conn.send(("ok", worker.stats()))
     except BaseException:  # noqa: BLE001 - forwarded verbatim to the parent
-        result_conn.send(("error", traceback.format_exc()))
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:  # pragma: no cover - parent already gone
+            pass
     finally:
-        result_conn.close()
+        conn.close()
+
+
+def _describe_exit(process) -> str:
+    code = process.exitcode
+    if code is None:
+        return "alive"
+    if code < 0:
+        try:
+            name = signal_module.Signals(-code).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = f"signal {-code}"
+        return f"killed by {name} (exitcode {code})"
+    return f"exitcode {code}"
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side bookkeeping for one live worker incarnation."""
+
+    index: int
+    process: object
+    conn: object
+    incarnation: int
+    last_seen: float
+
+
+class _DegradedRun(Exception):
+    """Internal: a shard exhausted its restart budget; fall back inline."""
+
+    def __init__(self, reason: str, restarts: int, incidents: list[str]):
+        super().__init__(reason)
+        self.restarts = restarts
+        self.incidents = incidents
 
 
 class ShardedRunner:
     """Partition a scenario and run one simulator stack per region.
 
-    ``mode="process"`` forks one worker per region (the production path);
-    ``mode="inline"`` phase-steps every worker in this process — the
-    single-process reference the parity tests compare against.
+    ``mode="process"`` forks one worker per region under parent supervision
+    (the production path); ``mode="inline"`` phase-steps every worker in this
+    process — the single-process reference the parity tests compare against.
+
+    Supervision knobs (process mode): a worker that sends nothing for
+    ``hang_timeout_s`` raises a descriptive :class:`NetworkError` after every
+    survivor is reaped; a worker that *dies* is restarted from the parent's
+    message log up to ``max_restarts`` times per shard (exponential backoff
+    from ``restart_backoff_s``), after which the run degrades to the inline
+    driver.  Restart accounting lands in ``RunResult.supervision`` — never in
+    ``counters``, which stay bit-identical to an undisturbed run.
     """
 
     def __init__(
@@ -134,6 +253,9 @@ class ShardedRunner:
         *,
         shards: int | None = None,
         mode: str = "process",
+        hang_timeout_s: float = 60.0,
+        max_restarts: int = 2,
+        restart_backoff_s: float = 0.05,
     ):
         if not isinstance(scenario, Scenario):
             scenario = Scenario.from_spec(scenario)
@@ -144,23 +266,28 @@ class ShardedRunner:
         self.shards = scenario.shards if shards is None else shards
         if self.shards < 1:
             raise NetworkError(f"shards must be >= 1, got {self.shards}")
+        self.hang_timeout_s = hang_timeout_s
+        self.max_restarts = max_restarts
+        self.restart_backoff_s = restart_backoff_s
         _check_shardable(scenario)
         self.topology = topology_from_spec(scenario.topology)
         self.partition = partition_topology(
             self.topology, self.shards, spacing_m=scenario.spacing_m
         )
+        self.fault_plan = FaultPlan.from_spec(scenario.faults)
+        self.fault_plan.validate_against(self.topology)
+        self.fault_plan.validate_sharded(self.shards)
 
     # ------------------------------------------------------------------
     def run(self) -> "RunResult":
-        from repro.api import RunResult
-
         started = time.perf_counter()
+        supervision: dict = {}
         if self.mode == "inline":
             per_shard = self._run_inline()
         else:
-            per_shard = self._run_processes()
+            per_shard, supervision = self._run_processes()
         wall_s = time.perf_counter() - started
-        return self._aggregate(per_shard, wall_s)
+        return self._aggregate(per_shard, wall_s, supervision)
 
     # ------------------------------------------------------------------
     def _links(self) -> list[dict[int, Link]]:
@@ -189,48 +316,192 @@ class ShardedRunner:
                 worker.advance()
         return [w.stats() for w in workers]
 
-    def _run_processes(self) -> list[dict]:
+    # ------------------------------------------------------------------
+    # Supervised process mode
+    # ------------------------------------------------------------------
+    def _run_processes(self) -> tuple[list[dict], dict]:
         ctx = multiprocessing.get_context("fork")
-        conns: list[dict[int, object]] = [{} for _ in range(self.shards)]
-        for i, j in neighbor_pairs(self.partition):
-            a, b = ctx.Pipe(duplex=True)
-            conns[i][j] = a
-            conns[j][i] = b
-        results = []
-        processes = []
-        for i in range(self.shards):
-            parent_end, child_end = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=_process_main,
-                args=(self.scenario, self.partition, i, conns[i], child_end),
-                name=f"shard-{i}",
-            )
-            process.start()
-            child_end.close()
-            for conn in conns[i].values():
-                conn.close()
-            processes.append(process)
-            results.append(parent_end)
+        try:
+            return self._supervise(ctx)
+        except _DegradedRun as degraded:
+            supervision = {
+                "degraded": True,
+                "reason": str(degraded),
+                "restarts": degraded.restarts,
+                "incidents": list(degraded.incidents),
+            }
+            return self._run_inline(), supervision
 
-        per_shard: list[dict] = []
-        errors: list[str] = []
-        for i, conn in enumerate(results):
-            try:
-                status, payload = conn.recv()
-            except EOFError:
-                status, payload = "error", f"shard {i} died without a result"
-            if status == "ok":
-                per_shard.append(payload)
-            else:
-                errors.append(f"shard {i}:\n{payload}")
-        for process in processes:
-            process.join()
-        if errors:
-            raise NetworkError("sharded run failed:\n" + "\n".join(errors))
-        return per_shard
+    def _spawn(self, ctx, index, incarnation, replay, suppress) -> _WorkerHandle:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        suffix = "" if incarnation == 0 else f".r{incarnation}"
+        process = ctx.Process(
+            target=_process_main,
+            args=(self.scenario, self.partition, index, child_conn, incarnation,
+                  replay, suppress),
+            name=f"shard-{index}{suffix}",
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(index, process, parent_conn, incarnation, time.monotonic())
+
+    def _supervise(self, ctx) -> tuple[list[dict], dict]:
+        partition = self.partition
+        neighbors = _neighbor_sets(partition)
+        #: (src, dst) -> every Round src has addressed to dst, in order.  The
+        #: complete, authoritative message history: entries are appended
+        #: *before* the forward is attempted, so a crashed destination can
+        #: always be replayed from here.
+        sent_log: dict[tuple[int, int], list] = {}
+        for i, j in neighbor_pairs(partition):
+            sent_log[(i, j)] = []
+            sent_log[(j, i)] = []
+        handles: dict[int, _WorkerHandle] = {}
+        per_shard: list = [None] * self.shards
+        pending = set(range(self.shards))
+        restarts = {i: 0 for i in range(self.shards)}
+        incidents: list[str] = []
+        try:
+            for i in range(self.shards):
+                handles[i] = self._spawn(ctx, i, 0, None, None)
+            while pending:
+                watch = {
+                    handles[i].conn: handles[i]
+                    for i in pending
+                    if handles[i].conn is not None
+                }
+                if not watch:  # pragma: no cover - every pending conn died
+                    raise NetworkError(
+                        "sharded run lost every pending worker connection "
+                        f"({self._worker_report(handles)})"
+                    )
+                now = time.monotonic()
+                deadline = min(h.last_seen for h in watch.values()) + self.hang_timeout_s
+                ready = mp_connection.wait(
+                    list(watch), timeout=max(0.0, min(deadline - now, 0.5))
+                )
+                if not ready:
+                    now = time.monotonic()
+                    overdue = sorted(
+                        h.index
+                        for h in watch.values()
+                        if now - h.last_seen > self.hang_timeout_s
+                    )
+                    if overdue:
+                        raise NetworkError(
+                            f"sharded run stalled: no heartbeat from shard(s) "
+                            f"{overdue} within {self.hang_timeout_s:.1f}s "
+                            f"({self._worker_report(handles)})"
+                        )
+                    continue
+                for conn in ready:
+                    handle = watch[conn]
+                    if handles.get(handle.index) is not handle:
+                        continue  # replaced while draining an earlier conn
+                    self._drain(
+                        handle, ctx, handles, neighbors, sent_log, per_shard,
+                        pending, restarts, incidents,
+                    )
+            supervision: dict = {}
+            total_restarts = sum(restarts.values())
+            if total_restarts:
+                supervision = {
+                    "restarts": total_restarts,
+                    "incidents": list(incidents),
+                }
+            return list(per_shard), supervision
+        finally:
+            # Reap everything, always: no supervisor exit — success, hang,
+            # worker error, or degradation — leaves orphaned workers behind.
+            for handle in handles.values():
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                handle.process.join()
+                if handle.conn is not None:
+                    handle.conn.close()
+                    handle.conn = None
+
+    def _drain(
+        self, handle, ctx, handles, neighbors, sent_log, per_shard,
+        pending, restarts, incidents,
+    ) -> None:
+        """Consume every buffered message on one worker's pipe."""
+        conn = handle.conn
+        try:
+            while True:
+                message = conn.recv()
+                handle.last_seen = time.monotonic()
+                kind = message[0]
+                if kind == "round":
+                    _, dest, payload = message
+                    sent_log[(handle.index, dest)].append(payload)
+                    peer = handles.get(dest)
+                    if peer is not None and peer.conn is not None:
+                        try:
+                            peer.conn.send(("round", handle.index, payload))
+                        except (BrokenPipeError, OSError):
+                            pass  # dest died; the log replays this on restart
+                elif kind == "ok":
+                    per_shard[handle.index] = message[1]
+                    pending.discard(handle.index)
+                elif kind == "error":
+                    raise NetworkError(
+                        f"sharded run failed:\nshard {handle.index}:\n{message[1]}"
+                    )
+                # "hb" carries no payload the parent needs beyond last_seen.
+                if not conn.poll():
+                    return
+        except (EOFError, ConnectionResetError, BrokenPipeError):
+            self._worker_exited(
+                handle, ctx, handles, neighbors, sent_log,
+                pending, restarts, incidents,
+            )
+
+    def _worker_exited(
+        self, handle, ctx, handles, neighbors, sent_log,
+        pending, restarts, incidents,
+    ) -> None:
+        process = handle.process
+        process.join()
+        handle.conn.close()
+        handle.conn = None
+        index = handle.index
+        if index not in pending:
+            return  # normal exit, result already delivered
+        status = _describe_exit(process)
+        if restarts[index] >= self.max_restarts:
+            raise _DegradedRun(
+                f"shard {index} died ({status}) after "
+                f"{restarts[index]} restart(s); falling back to the inline driver",
+                sum(restarts.values()),
+                incidents,
+            )
+        restarts[index] += 1
+        incidents.append(f"shard {index} died ({status}); restart #{restarts[index]}")
+        time.sleep(self.restart_backoff_s * (2 ** (restarts[index] - 1)))
+        # Deterministic re-execution: the replacement re-runs from t=0 with
+        # every round its predecessor already received pre-seeded (replay)
+        # and every round the predecessor already delivered swallowed
+        # (suppress) — it fast-forwards to the crash point bit-for-bit and
+        # picks up the protocol exactly where the dead incarnation left it.
+        replay = {j: tuple(sent_log[(j, index)]) for j in neighbors[index]}
+        suppress = {j: len(sent_log[(index, j)]) for j in neighbors[index]}
+        handles[index] = self._spawn(ctx, index, restarts[index], replay, suppress)
+
+    def _worker_report(self, handles) -> str:
+        parts = []
+        for i in sorted(handles):
+            handle = handles[i]
+            state = _describe_exit(handle.process)
+            if handle.incarnation:
+                state += f", incarnation {handle.incarnation}"
+            parts.append(f"shard {i}: {state}")
+        return "; ".join(parts)
 
     # ------------------------------------------------------------------
-    def _aggregate(self, per_shard: list[dict], wall_s: float) -> "RunResult":
+    def _aggregate(
+        self, per_shard: list[dict], wall_s: float, supervision: dict
+    ) -> "RunResult":
         from repro.api import RunResult
 
         scenario = self.scenario
@@ -271,6 +542,7 @@ class ShardedRunner:
             counters=counters,
             timings=timings,
             per_shard=tuple(per_shard),
+            supervision=supervision,
         )
 
 

@@ -83,12 +83,16 @@ class ShardWorker:
         partition: Partition,
         index: int,
         links: dict[int, Link],
+        *,
+        incarnation: int = 0,
+        process_chaos: bool = False,
     ):
         started = time.perf_counter()
         self.scenario = scenario
         self.partition = partition
         self.index = index
         self.links = links
+        self.incarnation = incarnation
         self._neighbor_order = tuple(sorted(links))
         self.region = partition.regions[index]
         self.end_time = seconds(scenario.duration_s)
@@ -161,10 +165,23 @@ class ShardWorker:
         self._outbox: dict[int, list[TxEnvelope]] = {j: [] for j in self._neighbor_order}
         self.channel.on_transmission = self._on_transmission
 
-        # --- workload / dynamics ------------------------------------------
+        # --- workload / dynamics / faults ---------------------------------
         self.dynamics = dynamics_from_spec(self.net, scenario.dynamics)
         self.workload.install_shard(self.net, partition.topology, self.region)
         self.dynamics.start()
+        # Fault injection: the region's slice of the scenario plan.  Installed
+        # *after* the capture hook above so the injector's corruption marking
+        # chains in front of it — a corrupted boundary frame crosses the seam
+        # already flagged.  Process chaos (worker kill/hang) applies only to
+        # a forked worker's first incarnation: a supervised replacement must
+        # run undisturbed, and the inline driver (the parity reference)
+        # ignores it entirely.
+        from repro.faults import FaultPlan, install_faults
+
+        plan = FaultPlan.from_spec(getattr(scenario, "faults", None))
+        self.fault_injector = install_faults(self.net, plan.for_region(partition, index))
+        if process_chaos and incarnation == 0:
+            self._arm_process_chaos(plan)
 
         # One overhead-only frame's airtime: the floor on delivery latency of
         # any frame a neighbor has not yet told us about.
@@ -183,6 +200,29 @@ class ShardWorker:
         self.wall_s = 0.0
 
     # ------------------------------------------------------------------
+    # Process-level chaos (fault campaigns over the forked runtime itself)
+    # ------------------------------------------------------------------
+    def _arm_process_chaos(self, plan) -> None:
+        """Schedule this shard's worker kill/hang events.  ``benign=True``:
+        dying mid-simulation must not perturb the event hazard accounting,
+        so the replacement's re-execution is bit-identical up to the kill."""
+        import os
+        import signal as signal_module
+
+        for event in plan.process_events:
+            if event.shard != self.index:
+                continue
+            at = seconds(event.at_s)
+            if event.kind == "worker_kill":
+                self.sim.schedule_at(
+                    at, os.kill, os.getpid(), signal_module.SIGKILL, benign=True
+                )
+            else:  # worker_hang: stop heartbeating without exiting
+                self.sim.schedule_at(
+                    at, time.sleep, event.hang_s or 10_000.0, benign=True
+                )
+
+    # ------------------------------------------------------------------
     # Outbound capture
     # ------------------------------------------------------------------
     def _on_transmission(self, tx: Transmission) -> None:
@@ -199,6 +239,7 @@ class ShardWorker:
             dest=tx.frame.dest,
             am_type=tx.frame.am_type,
             payload=tx.frame.payload,
+            corrupted=tx.corrupted,
         )
         self._sent_seq += 1
         for j in targets:
@@ -276,11 +317,16 @@ class ShardWorker:
             while not self._done_from[j]:
                 self._done_from[j] = self.links[j].recv().done
 
-    def run(self) -> None:
-        """Drive the shard to the end of simulated time (worker main loop)."""
+    def run(self, on_round=None) -> None:
+        """Drive the shard to the end of simulated time (worker main loop).
+
+        ``on_round``, when given, is called with the completed round count
+        after every protocol round — the forked runtime's heartbeat, proving
+        liveness to the supervising parent."""
         started = time.perf_counter()
         while self.run_round():
-            pass
+            if on_round is not None:
+                on_round(self.rounds)
         self.drain()
         self.wall_s = time.perf_counter() - started
 
@@ -290,7 +336,9 @@ class ShardWorker:
     def _replay_begin(self, envelope: TxEnvelope) -> None:
         radio = self._ghost_radios[envelope.mote]
         frame = Frame(envelope.src, envelope.dest, envelope.am_type, envelope.payload)
-        tx = Transmission(radio, frame, envelope.start, envelope.end)
+        tx = Transmission(
+            radio, frame, envelope.start, envelope.end, corrupted=envelope.corrupted
+        )
         radio._current_tx = tx
         if radio._slot is not None:
             self.channel.field.begin_tx(radio._slot, tx.start, tx.end)
@@ -330,6 +378,8 @@ class ShardWorker:
             "wall_s": round(self.wall_s, 4),
         }
         counters.update(self.dynamics.stats())
+        if self.fault_injector is not None:
+            counters.update(self.fault_injector.stats())
         counters.update(self.workload.metrics(self.net))
         return counters
 

@@ -70,6 +70,7 @@ EXPECTED_ALL = [
     "run",
     "run_scenario",
     "ShardedRunner",
+    "FaultPlan",
     "__version__",
 ]
 

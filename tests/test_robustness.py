@@ -206,3 +206,79 @@ class TestSchedulerLiveness:
         # Round-robin with 4-instruction slices: within ~25% of each other.
         assert min(executed) > 0
         assert max(executed) - min(executed) <= max(executed) * 0.25
+
+
+class TestMigrationRetryExhaustion:
+    """The retransmit budget under total loss: `_ack_timeout` fires
+    ``max_retransmits`` times, the hop fails, and the agent resumes at its
+    origin — the paper's custody rule (§3.2) under the worst link there is."""
+
+    def test_exhaustion_resumes_agent_at_origin(self):
+        net = corridor(2)
+        net.channel.prr_overrides[(1, 2)] = 0.0  # forward path: 100% loss
+        agent = run_agent(net, "pushloc 2 1\nsmove\nwait", at=(1, 1), timeout_s=5.0)
+        sender = net.middleware((1, 1)).migration
+        assert sender.failures == 1
+        assert sender.hop_successes == 0
+        assert agent.condition == 0  # smove reports the failed hop
+        assert ("fail", agent.id) in [(e, a) for e, a, _ in sender.events]
+        # Retry accounting: the original send plus every retransmit hit the
+        # air before the sender gave up.
+        params = net.middleware((1, 1)).params
+        assert sender.messages_sent >= params.max_retransmits + 1
+        assert sender._active is None and not sender._queue  # sender idle again
+
+    def test_exhausted_hop_never_loses_the_agent(self):
+        """The §3.2 invariant, at the retry-exhaustion boundary: after a
+        fully failed hop there is exactly one live copy, at the origin."""
+        net = corridor(2)
+        net.channel.prr_overrides[(1, 2)] = 0.0
+        agent = run_agent(net, "pushloc 2 1\nsmove\nwait", at=(1, 1), timeout_s=5.0)
+        everywhere = [a for x in (1, 2) for a in net.agents_at((x, 1))]
+        assert len(everywhere) == 1
+        assert everywhere[0] is agent
+        assert agent.state == AgentState.WAIT_RXN  # resumed, parked on `wait`
+
+    def test_all_acks_lost_aborts_receiver_and_keeps_origin_copy(self):
+        """With the whole return path dead the stop-and-wait sender never
+        advances past the first image message: the receiver's staging aborts,
+        and the only live copy is the one restored at the origin."""
+        net = corridor(2)
+        net.channel.prr_overrides[(2, 1)] = 0.0  # acks can't come home
+        agent = run_agent(net, "pushloc 2 1\nsmove\nwait", at=(1, 1), timeout_s=5.0)
+        net.run(2.0)
+        sender = net.middleware((1, 1)).migration
+        receiver = net.middleware((2, 1)).migration
+        assert sender.failures == 1
+        assert receiver.arrivals == 0  # image never completed
+        assert receiver.aborts >= 1  # staging gave up, no half-installed agent
+        everywhere = [a for x in (1, 2) for a in net.agents_at((x, 1))]
+        assert len(everywhere) == 1 and everywhere[0] is agent
+
+    def test_final_ack_loss_duplicates_but_never_loses(self):
+        """Cut the return path the instant the *last* image message goes on
+        the air: custody transfers at the receiver while the sender exhausts
+        its retries — the failure mode is a duplicate, never a vanish."""
+        from repro.net import am
+
+        net = corridor(2)
+        data_frames = []
+
+        def cut_on_final_message(tx):
+            if tx.frame.src == 1 and tx.frame.am_type in am.MIGRATION_DATA_TYPES:
+                data_frames.append(tx.frame.am_type)
+                if len(data_frames) == 3:  # minimal agent: state + code + final
+                    net.channel.prr_overrides[(2, 1)] = 0.0
+
+        net.channel.on_transmission = cut_on_final_message
+        run_agent(net, "pushloc 2 1\nsmove\nwait", at=(1, 1), timeout_s=5.0)
+        net.run(2.0)
+        sender = net.middleware((1, 1)).migration
+        receiver = net.middleware((2, 1)).migration
+        assert receiver.arrivals == 1  # custody transferred remotely
+        assert sender.failures == 1  # ...while every ack home was lost
+        assert sender.duplicate_acks == 0  # re-acks were dropped, not stale
+        everywhere = [a for x in (1, 2) for a in net.agents_at((x, 1))]
+        live = [a for a in everywhere if a.state != AgentState.DEAD]
+        assert len(live) == 2  # duplicated on both sides of the lost ack
+        assert any(a.state != AgentState.DEAD for a in net.agents_at((2, 1)))
