@@ -32,10 +32,19 @@ class RunResult:
     ``timings`` holds pacing (build/wall seconds and derived rates).
     ``per_shard`` carries each worker's local stats for sharded runs
     (empty for single-process runs).  ``supervision`` reports runtime
-    self-healing — worker restarts, degradation to the inline driver — and
-    is kept apart from ``counters`` on purpose: a sharded run that survived
-    a worker crash produces counters bit-identical to an undisturbed run,
-    with only ``supervision`` recording that anything happened.
+    self-healing and is kept apart from ``counters`` on purpose: a sharded
+    run that survived a worker crash produces counters bit-identical to an
+    undisturbed run, with only ``supervision`` recording that anything
+    happened.  Its keys: ``checkpoints`` (fork snapshots announced, present
+    whenever checkpointing is enabled and the run was long enough to take
+    one), and — only after at least one worker death — ``restarts``,
+    ``recovered_from_checkpoint`` (how many of those restarts woke a
+    dormant snapshot clone instead of re-executing from t=0),
+    ``incidents`` (human-readable, one per death), and ``recoveries``
+    (one ``{"shard", "via": "checkpoint"|"replay", "recovery_s"}`` entry
+    per death, where ``recovery_s`` is wall time until the replacement
+    caught back up to the victim's last proven round).  A run that
+    exhausted its restart budget instead reports ``degraded``/``reason``.
     """
 
     scenario: str

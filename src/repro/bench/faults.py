@@ -1,21 +1,33 @@
 """Resilience battery: what fault campaigns cost, and how fast runs recover.
 
-Six fixed-seed cases over one flood field (a 10×4 grid, 10 simulated
-seconds).  The first is the fault-free reference; four inject one node-level
-fault class each (link blackout, noise burst, mote crash+reboot with
-volatile-state loss, frame corruption); the last SIGKILLs a sharded worker
-mid-run and lets the supervisor heal it.  Every row reports delivery against
-the reference (``delivery_ratio``), the fault counters, and — where they
-apply — recovery time and restart accounting:
+Fixed-seed cases over one flood field (a 10×4 grid, 10 simulated seconds).
+The first is the fault-free reference; four inject one node-level fault
+class each (link blackout, noise burst, mote crash+reboot with
+volatile-state loss, frame corruption); one runs a *generated* correlated
+regional-outage campaign (``FaultPlan.generate`` with seeded
+``correlated_crash`` draws); the rest SIGKILL a sharded worker and let the
+supervisor heal it.  Every row reports delivery against the reference
+(``delivery_ratio``), the fault counters, and — where they apply — recovery
+time and restart accounting:
 
-* ``recovery_s`` (crash case): the run is stepped in 1 s slices next to an
-  identical fault-free build, and recovery is the first slice after the
+* ``recovery_s`` (mote-crash case): the run is stepped in 1 s slices next to
+  an identical fault-free build, and recovery is the first slice after the
   reboot whose delivery rate is back within 90% of the reference slice —
   measured from the reboot instant.
-* ``restarts``/``bitequal`` (self-heal case): supervisor restarts consumed,
-  and whether the healed run's behavior counters came out bit-identical to
-  the undisturbed sharded run (the recovery-by-re-execution contract; this
-  column should always read 1).
+* ``recovery_s`` (worker-crash cases): the supervisor's own measurement —
+  wall time from the worker's death until its replacement catches back up
+  to the victim's last proven protocol round.  The late-crash pair
+  (``shard-crash-replay`` vs ``shard-crash-ckpt``) runs the same SIGKILL at
+  80% of the run healed two ways: full re-execution from t=0 versus waking
+  the newest fork-based checkpoint clone with the message-log suffix.  The
+  checkpointed ``recovery_s`` must sit strictly below full replay for a
+  late crash — that gap is the whole point of checkpointing, and CI gates
+  it.
+* ``restarts``/``bitequal``/``checkpoints``/``recovered_from_checkpoint``
+  (worker-crash cases): supervisor accounting, and whether the healed run's
+  behavior counters came out bit-identical to the undisturbed sharded run
+  (the recovery contract holds on both paths; ``bitequal`` should always
+  read 1).
 
 Rows are keyed by ``case`` and carry ``events_per_s`` so the committed
 ``results/BENCH_faults.json`` works with ``bench compare``'s regression gate
@@ -29,8 +41,14 @@ import os
 import time
 
 from repro.bench.reporting import Table, peak_rss_kb
+from repro.faults.plan import FaultPlan
 from repro.scenarios.spec import Scenario
-from repro.shard.runner import TIMING_KEYS, ShardedRunner, cpu_count
+from repro.shard.runner import (
+    DEFAULT_CHECKPOINT_EVERY,
+    TIMING_KEYS,
+    ShardedRunner,
+    cpu_count,
+)
 
 DEFAULT_FAULT_SIM_S = 10.0
 #: Slice width for the recovery probe, and the delivery-rate band that
@@ -171,25 +189,40 @@ def _measure_recovery(
     return round(duration_s - fault_end_s, 1)  # never recovered in-window
 
 
-def _run_selfheal(spec: dict, shards: int) -> dict:
-    """SIGKILL one sharded worker mid-run; report restart cost and whether
-    the healed counters are bit-identical to the undisturbed sharded run."""
-    kill_at = round(spec["duration_s"] * 0.4, 1)
+def _run_selfheal(
+    spec: dict,
+    shards: int,
+    *,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    kill_frac: float = 0.4,
+    case: str | None = None,
+) -> dict:
+    """SIGKILL one sharded worker mid-run; report recovery cost and whether
+    the healed counters are bit-identical to the undisturbed sharded run.
+
+    ``checkpoint_every=0`` forces the full-replay recovery path;
+    ``kill_frac`` places the kill (late kills are where the two paths
+    diverge most).  ``recovery_s`` is the supervisor's own measurement:
+    death to the replacement's catch-up round."""
+    kill_at = round(spec["duration_s"] * kill_frac, 1)
     victim = shards - 1
     chaos = {"events": [{"kind": "worker_kill", "at_s": kill_at, "shard": victim}]}
     undisturbed = ShardedRunner(
-        Scenario.from_spec(dict(spec, shards=shards))
+        Scenario.from_spec(dict(spec, shards=shards)),
+        checkpoint_every=checkpoint_every,
     ).run()
     started = time.perf_counter()
     healed = ShardedRunner(
-        Scenario.from_spec(dict(spec, shards=shards, faults=chaos))
+        Scenario.from_spec(dict(spec, shards=shards, faults=chaos)),
+        checkpoint_every=checkpoint_every,
     ).run()
     wall_s = time.perf_counter() - started
     strip = lambda result: {  # noqa: E731 - tiny local projection
         k: v for k, v in result.counters.items() if k not in TIMING_KEYS
     }
+    recoveries = healed.supervision.get("recoveries", ())
     row = {
-        "case": f"shard-selfheal-w{shards}",
+        "case": case or f"shard-selfheal-w{shards}",
         "nodes": healed.counters["nodes"],
         "sim_s": spec["duration_s"],
         "wall_s": round(wall_s, 4),
@@ -198,6 +231,11 @@ def _run_selfheal(spec: dict, shards: int) -> dict:
         "frames": healed.counters["frames"],
         "frames_received": healed.counters.get("frames_received", 0),
         "restarts": healed.supervision.get("restarts", 0),
+        "checkpoints": healed.supervision.get("checkpoints", 0),
+        "recovered_from_checkpoint": healed.supervision.get(
+            "recovered_from_checkpoint", 0
+        ),
+        "recovery_s": recoveries[0]["recovery_s"] if recoveries else 0.0,
         "bitequal": int(strip(healed) == strip(undisturbed)),
         "peak_rss_kb": peak_rss_kb(),
     }
@@ -228,6 +266,7 @@ def run_fault_bench(
             "lost",
             "recovery s",
             "restarts",
+            "ckpts",
         ],
     )
     rows: list[dict] = []
@@ -242,7 +281,36 @@ def run_fault_bench(
                 spec, campaign, fault_end_s, duration_s
             )
         rows.append(row)
+    # A drawn campaign instead of a written one: seeded correlated regional
+    # outages, resolved into staggered per-node crashes at build time.
+    generated = FaultPlan.generate(
+        seed,
+        {
+            "field": [[1, 1], [10, 4]],
+            "duration_s": duration_s,
+            "count": 2,
+            "kinds": ["correlated_crash"],
+            "reboot_s": [0.1 * duration_s, 0.2 * duration_s],
+        },
+    )
+    rows.append(_run_case("correlated-outage", spec, generated.to_spec()))
     rows.append(_run_selfheal(spec, shards))
+    # The same SIGKILL placed late in the run, healed both ways: this pair
+    # is the checkpointing headline (and CI gates ckpt < replay).
+    rows.append(
+        _run_selfheal(
+            spec,
+            shards,
+            checkpoint_every=0,
+            kill_frac=0.8,
+            case=f"shard-crash-replay-w{shards}",
+        )
+    )
+    rows.append(
+        _run_selfheal(
+            spec, shards, kill_frac=0.8, case=f"shard-crash-ckpt-w{shards}"
+        )
+    )
     reference_received = baseline["frames_received"] or 1
     for row in rows:
         row["delivery_ratio"] = round(row["frames_received"] / reference_received, 3)
@@ -257,20 +325,25 @@ def run_fault_bench(
             row.get("fault_agents_lost", 0),
             row.get("recovery_s", "-"),
             row.get("restarts", "-"),
+            row.get("checkpoints", "-"),
         )
     table.add_note(
         f"seed {seed}, {duration_s:.0f} simulated seconds per case on "
         f"{cpu_count()} usable core(s); delivery is frames received vs the "
-        "fault-free baseline; recovery is measured from the reboot instant "
-        f"to the first 1 s slice back within {RECOVERY_BAND:.0%} of the "
-        "baseline delivery rate; bitequal=1 on the self-heal row means the "
-        "restarted worker reproduced the undisturbed counters exactly"
+        "fault-free baseline; mote-crash recovery is measured from the "
+        "reboot instant to the first 1 s slice back within "
+        f"{RECOVERY_BAND:.0%} of the baseline delivery rate; worker-crash "
+        "recovery is the supervisor's death-to-catch-up wall time (the "
+        "shard-crash-replay/-ckpt pair heals the same late kill by full "
+        "re-execution vs by waking the newest fork snapshot); bitequal=1 "
+        "means the healed run reproduced the undisturbed counters exactly"
     )
-    selfheal = rows[-1]
-    if not selfheal.get("bitequal", 0):  # pragma: no cover - contract breach
-        table.add_note(
-            "WARNING: self-heal counters diverged from the undisturbed run"
-        )
+    for row in rows:
+        if "bitequal" in row and not row["bitequal"]:  # pragma: no cover
+            table.add_note(
+                f"WARNING: {row['case']} counters diverged from the "
+                "undisturbed run"
+            )
     if json_path:
         payload = {
             "experiment": "faults",

@@ -9,6 +9,7 @@ plan's node events to a live :class:`~repro.network.SensorNetwork`.  See
 
 from repro.faults.inject import FaultInjector, install_faults
 from repro.faults.plan import (
+    CorrelatedCrashFault,
     CorruptFault,
     CrashFault,
     FaultEvent,
@@ -26,6 +27,7 @@ __all__ = [
     "LinkFault",
     "NoiseFault",
     "CrashFault",
+    "CorrelatedCrashFault",
     "CorruptFault",
     "WorkerFault",
 ]

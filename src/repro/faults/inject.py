@@ -9,8 +9,20 @@ sharded runtime captures the frame into a seam envelope.
 
 All randomness comes from the simulator's seed-derived ``"faults"`` stream:
 fraction-based victim selection draws once per plan at install time, and
-frame corruption draws once per watched transmission inside its window — so
-a fixed-seed campaign replays bit-identically, inline or forked.
+frame corruption draws once per *matching window* per watched transmission —
+so a fixed-seed campaign replays bit-identically, inline or forked.
+
+Windows **compose**.  Link and noise degradation are tracked as per-window
+*layers* over each directed pair: while several windows overlap the same
+pair, the effective override is the innermost (minimum) layer's PRR, and a
+window expiring removes only its own layer — never a pair another live
+window still claims.  The flat float dict the channel reads
+(``Channel.prr_overrides``) is recomputed from the layers on every change,
+so the hot delivery paths (scalar and vectorized) stay untouched.
+Overlapping corrupt windows each get an independent probability draw per
+frame in span, applied in plan order and stopping at the first hit, so a
+frame is never counted corrupted twice but a second window is never dead
+code.
 
 Installing an *empty* plan is free by construction: :func:`install_faults`
 returns ``None``, schedules nothing, and leaves the channel hook untouched,
@@ -21,6 +33,7 @@ from __future__ import annotations
 
 from repro.errors import NetworkError
 from repro.faults.plan import (
+    CorrelatedCrashFault,
     CorruptFault,
     CrashFault,
     FaultPlan,
@@ -42,6 +55,14 @@ class FaultInjector:
         #: consulted per transmission by the chained channel hook.
         self._corrupt_windows: list[tuple[int, int, frozenset[int] | None, float]] = []
         self._prev_hook = None
+        #: Degradation layers: pair -> [(window token, prr), ...] in install
+        #: order.  ``channel.prr_overrides[pair]`` is always the min over the
+        #: pair's live layers; a window closing removes only its own token.
+        self._layers: dict[tuple[int, int], list[tuple[int, float]]] = {}
+        #: Window token -> the pairs that window layered (noise windows only
+        #: know their pairs at fire time, so closing needs this record).
+        self._window_pairs: dict[int, tuple[tuple[int, int], ...]] = {}
+        self._window_tokens = iter(range(1 << 30))
         # Statistics (ints only: summable across shards, bit-deterministic).
         self.fault_events = 0
         self.fault_crashes = 0
@@ -64,14 +85,20 @@ class FaultInjector:
     def _schedule(self, plan: FaultPlan) -> None:
         sim = self.net.sim
         for event in plan.node_events:
+            if isinstance(event, CorrelatedCrashFault):
+                raise NetworkError(
+                    "correlated_crash events must be resolved (FaultPlan."
+                    "resolve) into per-node crashes before install"
+                )
             at = seconds(event.at_s)
             if isinstance(event, LinkFault):
                 pairs = tuple(
                     (self._mote_id(src), self._mote_id(dst)) for src, dst in event.links
                 )
-                sim.schedule_at(at, self._degrade, pairs, event.prr)
+                token = next(self._window_tokens)
+                sim.schedule_at(at, self._degrade, token, pairs, event.prr)
                 if event.duration_s is not None:
-                    sim.schedule_at(at + seconds(event.duration_s), self._restore, pairs)
+                    sim.schedule_at(at + seconds(event.duration_s), self._window_off, token)
             elif isinstance(event, NoiseFault):
                 victims = event.nodes
                 if event.fraction is not None:
@@ -81,9 +108,10 @@ class FaultInjector:
                     count = max(1, round(event.fraction * len(field)))
                     victims = tuple(sorted(self.rng.sample(field, min(count, len(field)))))
                 ids = tuple(self._mote_id(v) for v in victims)
-                sim.schedule_at(at, self._noise_on, ids, event.prr)
+                token = next(self._window_tokens)
+                sim.schedule_at(at, self._noise_on, token, ids, event.prr)
                 if event.duration_s is not None:
-                    sim.schedule_at(at + seconds(event.duration_s), self._noise_off, ids)
+                    sim.schedule_at(at + seconds(event.duration_s), self._window_off, token)
             elif isinstance(event, CrashFault):
                 for loc in event.nodes:
                     sim.schedule_at(at, self._crash, loc, event.volatile)
@@ -108,37 +136,47 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Link degradation / noise bursts (receiver-side PRR overrides)
     # ------------------------------------------------------------------
-    def _degrade(self, pairs, prr: float) -> None:
+    def _layer_on(self, token: int, pairs, prr: float) -> None:
+        """Open one window's layer on each pair; effective PRR = min layer."""
         overrides = self.channel.prr_overrides
         for pair in pairs:
-            overrides[pair] = prr
+            layers = self._layers.setdefault(pair, [])
+            layers.append((token, prr))
+            overrides[pair] = min(value for _, value in layers)
+        self._window_pairs[token] = tuple(pairs)
+
+    def _degrade(self, token: int, pairs, prr: float) -> None:
+        self._layer_on(token, pairs, prr)
         self.fault_events += 1
         self.fault_link_windows += 1
 
-    def _restore(self, pairs) -> None:
-        overrides = self.channel.prr_overrides
-        for pair in pairs:
-            overrides.pop(pair, None)
-        self.fault_events += 1
-
-    def _noise_on(self, victim_ids, prr: float) -> None:
+    def _noise_on(self, token: int, victim_ids, prr: float) -> None:
         # Enumerate transmitters at fire time: every radio currently on the
         # medium (including shard ghosts, whose replays consult the same
         # overrides) can be the interfered-with sender.
-        overrides = self.channel.prr_overrides
-        for victim in victim_ids:
-            for radio in self.channel.radios:
-                src = radio.mote.id
-                if src != victim:
-                    overrides[(src, victim)] = prr
+        pairs = [
+            (radio.mote.id, victim)
+            for victim in victim_ids
+            for radio in self.channel.radios
+            if radio.mote.id != victim
+        ]
+        self._layer_on(token, pairs, prr)
         self.fault_events += 1
         self.fault_link_windows += 1
 
-    def _noise_off(self, victim_ids) -> None:
+    def _window_off(self, token: int) -> None:
+        """Close one window: peel only its own layer off each of its pairs."""
         overrides = self.channel.prr_overrides
-        victims = set(victim_ids)
-        for pair in [p for p in overrides if p[1] in victims]:
-            del overrides[pair]
+        for pair in self._window_pairs.pop(token, ()):
+            layers = self._layers.get(pair)
+            if not layers:
+                continue
+            layers[:] = [entry for entry in layers if entry[0] != token]
+            if layers:
+                overrides[pair] = min(value for _, value in layers)
+            else:
+                del self._layers[pair]
+                overrides.pop(pair, None)
         self.fault_events += 1
 
     # ------------------------------------------------------------------
@@ -174,12 +212,16 @@ class FaultInjector:
         # radios are disabled) — never re-draw for them.
         if tx.radio.enabled and not tx.corrupted:
             start = tx.start
+            # Overlap semantics: every window spanning this frame gets its
+            # own independent draw, in plan order, stopping at the first hit
+            # — a frame is corrupted (and counted) at most once, but a
+            # second overlapping window still applies when the first misses.
             for begin, end, watch, probability in self._corrupt_windows:
                 if begin <= start < end and (watch is None or tx.radio.mote.id in watch):
                     if self.rng.random() < probability:
                         tx.corrupted = True
                         self.fault_frames_corrupted += 1
-                    break
+                        break
         if self._prev_hook is not None:
             self._prev_hook(tx)
 

@@ -42,6 +42,15 @@ Event kinds:
     with ``probability``, drawn from the ``"faults"`` stream.  A corrupted
     frame still occupies the air — carrier sense and collisions stay exact —
     but no receiver passes CRC.
+``correlated_crash``
+    Regional power loss: every mote inside an inclusive location rectangle
+    (``rect: [[x0, y0], [x1, y1]]``) crashes at ``at_s``, and each one
+    reboots at ``reboot_s`` plus its own stagger drawn uniformly from
+    ``[0, stagger_s]`` — the correlated-failure shape (a breaker trips, the
+    motes come back one by one).  Expanded by :meth:`FaultPlan.resolve` into
+    per-node ``crash`` events with the stagger drawn from the plan-level
+    ``"{seed}/correlated-crash"`` stream, *not* a simulator stream, so the
+    expansion is identical in every shard of a sharded run.
 ``worker_kill`` / ``worker_hang``
     Process-level chaos for the sharded runtime: SIGKILL (or hang, for
     ``hang_s`` seconds — omitted means forever) the worker driving ``shard``
@@ -49,15 +58,24 @@ Event kinds:
     incarnation, so supervised recovery replays cleanly; ignored by the
     inline driver (which is the undisturbed parity reference).
 
-Determinism contract: every random choice a plan makes is drawn from the
-simulator's seed-derived ``"faults"`` stream, so a fixed-seed campaign
-replays bit-identically — and an empty/absent plan installs nothing at all,
-leaving the run bit-for-bit identical to one without the faults layer.
+Campaigns can also be *drawn* instead of written: :meth:`FaultPlan.generate`
+takes a seed and a distribution spec (event count, kinds, a target field
+rectangle, parameter ranges) and returns a concrete, validated plan — chaos
+runs sample a campaign distribution while staying exactly replayable.
+
+Determinism contract: every random choice a plan makes is drawn either from
+the simulator's seed-derived ``"faults"`` stream (injector-time draws) or
+from a plan-level stream derived from the same scenario seed (generation and
+correlated-crash expansion, which must agree across shards), so a fixed-seed
+campaign replays bit-identically — and an empty/absent plan installs nothing
+at all, leaving the run bit-for-bit identical to one without the faults
+layer.
 """
 
 from __future__ import annotations
 
 import json
+import random
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -67,7 +85,7 @@ Loc = tuple[int, int]
 
 #: Event kinds that target motes (routed to the owning shard region) vs the
 #: forked workers themselves (consumed by the sharded runtime's supervisor).
-NODE_KINDS = frozenset({"link", "noise", "crash", "corrupt"})
+NODE_KINDS = frozenset({"link", "noise", "crash", "corrupt", "correlated_crash"})
 PROCESS_KINDS = frozenset({"worker_kill", "worker_hang"})
 
 _COMMON_KEYS = frozenset({"kind", "at_s"})
@@ -76,6 +94,7 @@ _EVENT_KEYS = {
     "noise": _COMMON_KEYS | {"duration_s", "nodes", "fraction", "prr"},
     "crash": _COMMON_KEYS | {"nodes", "reboot_s", "volatile"},
     "corrupt": _COMMON_KEYS | {"duration_s", "nodes", "probability"},
+    "correlated_crash": _COMMON_KEYS | {"rect", "reboot_s", "stagger_s", "volatile"},
     "worker_kill": _COMMON_KEYS | {"shard"},
     "worker_hang": _COMMON_KEYS | {"shard", "hang_s"},
 }
@@ -161,6 +180,21 @@ class CorruptFault(FaultEvent):
 
 
 @dataclass(frozen=True)
+class CorrelatedCrashFault(FaultEvent):
+    """Crash every mote in a rectangle, with staggered seed-drawn reboots.
+
+    Unresolved form: carries the rectangle, not the member nodes — it must
+    pass through :meth:`FaultPlan.resolve` (which knows the topology and the
+    scenario seed) before it can be installed or split across shards.
+    """
+
+    rect: tuple[Loc, Loc] = ((0, 0), (0, 0))
+    reboot_s: float | None = None
+    stagger_s: float = 0.0
+    volatile: bool = True
+
+
+@dataclass(frozen=True)
 class WorkerFault(FaultEvent):
     """Process chaos: kill or hang the forked worker driving ``shard``."""
 
@@ -238,6 +272,33 @@ def _parse_event(spec) -> FaultEvent:
             probability=_prr(spec.get("probability", 1.0), "corrupt probability"),
             duration_s=_window(spec),
         )
+    if kind == "correlated_crash":
+        rect = spec.get("rect")
+        if not isinstance(rect, (list, tuple)) or len(rect) != 2:
+            raise NetworkError(
+                "correlated_crash requires 'rect': [[x0, y0], [x1, y1]]"
+            )
+        (x0, y0), (x1, y1) = (_loc(rect[0], "rect corner"), _loc(rect[1], "rect corner"))
+        if x1 < x0 or y1 < y0:
+            raise NetworkError(
+                f"correlated_crash rect corners must be [min, max]: {rect!r}"
+            )
+        reboot_s = spec.get("reboot_s")
+        if reboot_s is not None and float(reboot_s) <= 0:
+            raise NetworkError(f"correlated_crash reboot_s must be positive: {reboot_s!r}")
+        stagger_s = float(spec.get("stagger_s", 0.0))
+        if stagger_s < 0:
+            raise NetworkError(f"correlated_crash stagger_s must be >= 0: {stagger_s!r}")
+        if stagger_s > 0 and reboot_s is None:
+            raise NetworkError("correlated_crash stagger_s requires reboot_s")
+        return CorrelatedCrashFault(
+            kind=kind,
+            at_s=at_s,
+            rect=((x0, y0), (x1, y1)),
+            reboot_s=float(reboot_s) if reboot_s is not None else None,
+            stagger_s=stagger_s,
+            volatile=bool(spec.get("volatile", True)),
+        )
     # worker_kill / worker_hang
     shard = spec.get("shard")
     if not isinstance(shard, int) or shard < 0:
@@ -287,6 +348,182 @@ class FaultPlan:
             raise NetworkError(f"fault plan must be a dict or event list: {spec!r}")
         events = tuple(sorted((_parse_event(entry) for entry in spec), key=lambda e: e.at_s))
         return cls(events=events)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(cls, seed, spec: dict) -> "FaultPlan":
+        """Draw a campaign from a seeded distribution instead of a fixed list.
+
+        ``spec`` describes the distribution; every draw comes from a
+        ``random.Random(f"{seed}/fault-plan")`` stream, so ``(seed, spec)``
+        always yields the same campaign — a chaos run can sample fresh
+        campaigns per seed while staying exactly replayable.  Keys:
+
+        ``field`` (required)
+            ``[[x0, y0], [x1, y1]]`` inclusive location bounds every target
+            is drawn from (use the deployment's grid extent).
+        ``duration_s`` (required)
+            Campaign horizon; events start inside ``[0, 0.6 * duration_s]``.
+        ``count`` (default 4)
+            Number of events to draw.
+        ``kinds`` (default ``["link", "noise", "crash", "corrupt"]``)
+            Event kinds to draw from; may include ``correlated_crash``.
+        ``prr`` / ``probability`` / ``window_s`` / ``reboot_s`` / ``stagger_s``
+            Optional ``[lo, hi]`` ranges overriding the built-in defaults
+            (degradation severity, corruption odds, window widths, reboot
+            delay, correlated-reboot stagger).
+
+        Generated events always name explicit nodes (never ``fraction``), so
+        a generated campaign is valid for sharded runs as-is.
+        """
+        known = {
+            "field", "duration_s", "count", "kinds",
+            "prr", "probability", "window_s", "reboot_s", "stagger_s",
+        }
+        unknown = set(spec) - known
+        if unknown:
+            raise NetworkError(f"unknown fault generator keys: {sorted(unknown)}")
+        try:
+            (x0, y0), (x1, y1) = (
+                _loc(spec["field"][0], "generator field corner"),
+                _loc(spec["field"][1], "generator field corner"),
+            )
+        except (KeyError, TypeError, IndexError):
+            raise NetworkError(
+                "fault generator requires 'field': [[x0, y0], [x1, y1]]"
+            ) from None
+        if x1 < x0 or y1 < y0:
+            raise NetworkError("fault generator field corners must be [min, max]")
+        if "duration_s" not in spec:
+            raise NetworkError("fault generator requires 'duration_s'")
+        duration = float(spec["duration_s"])
+        if duration <= 0:
+            raise NetworkError(f"fault generator duration_s must be positive: {duration}")
+        count = int(spec.get("count", 4))
+        if count < 1:
+            raise NetworkError(f"fault generator count must be >= 1: {count}")
+        kinds = tuple(spec.get("kinds", ("link", "noise", "crash", "corrupt")))
+        drawable = NODE_KINDS
+        if not kinds or any(k not in drawable for k in kinds):
+            raise NetworkError(
+                f"fault generator kinds must be drawn from {sorted(drawable)}: {kinds!r}"
+            )
+
+        def span(key: str, lo: float, hi: float) -> tuple[float, float]:
+            if key not in spec:
+                return (lo, hi)
+            try:
+                a, b = (float(v) for v in spec[key])
+            except (TypeError, ValueError):
+                raise NetworkError(f"generator {key} must be a [lo, hi] range") from None
+            if b < a:
+                raise NetworkError(f"generator {key} range must be [lo, hi]: {spec[key]!r}")
+            return (a, b)
+
+        prr_range = span("prr", 0.0, 0.3)
+        probability_range = span("probability", 0.1, 0.5)
+        window_range = span("window_s", 0.1 * duration, 0.3 * duration)
+        reboot_range = span("reboot_s", 0.05 * duration, 0.2 * duration)
+        stagger_range = span("stagger_s", 0.0, 0.1 * duration)
+
+        rng = random.Random(f"{seed}/fault-plan")
+        node = lambda: (rng.randint(x0, x1), rng.randint(y0, y1))  # noqa: E731
+        events: list[dict] = []
+        for _ in range(count):
+            kind = rng.choice(kinds)
+            at_s = round(rng.uniform(0.0, 0.6 * duration), 3)
+            window = round(rng.uniform(*window_range), 3)
+            event: dict = {"kind": kind, "at_s": at_s}
+            if kind == "link":
+                src = node()
+                # A neighbor one cell over (clamped into the field) so the
+                # degraded link is one the topology can actually exercise.
+                dx, dy = rng.choice(((1, 0), (-1, 0), (0, 1), (0, -1)))
+                dst = (min(max(src[0] + dx, x0), x1), min(max(src[1] + dy, y0), y1))
+                if dst == src:
+                    dst = (min(max(src[0] - dx, x0), x1), min(max(src[1] - dy, y0), y1))
+                event.update(
+                    links=[[list(src), list(dst)]],
+                    prr=round(rng.uniform(*prr_range), 3),
+                    duration_s=window,
+                    symmetric=rng.random() < 0.5,
+                )
+            elif kind == "noise":
+                victims = sorted({node() for _ in range(rng.randint(1, 3))})
+                event.update(
+                    nodes=[list(v) for v in victims],
+                    prr=round(rng.uniform(*prr_range), 3),
+                    duration_s=window,
+                )
+            elif kind == "crash":
+                victims = sorted({node() for _ in range(rng.randint(1, 2))})
+                event.update(
+                    nodes=[list(v) for v in victims],
+                    reboot_s=round(rng.uniform(*reboot_range), 3),
+                    volatile=rng.random() < 0.5,
+                )
+            elif kind == "corrupt":
+                event.update(
+                    probability=round(rng.uniform(*probability_range), 3),
+                    duration_s=window,
+                )
+            else:  # correlated_crash
+                ax, ay = node()
+                bx = min(ax + rng.randint(0, max(1, (x1 - x0) // 2)), x1)
+                by = min(ay + rng.randint(0, max(1, (y1 - y0) // 2)), y1)
+                event.update(
+                    rect=[[ax, ay], [bx, by]],
+                    reboot_s=round(rng.uniform(*reboot_range), 3),
+                    stagger_s=round(rng.uniform(*stagger_range), 3),
+                    volatile=rng.random() < 0.5,
+                )
+            events.append(event)
+        return cls.from_spec({"events": events})
+
+    # ------------------------------------------------------------------
+    def resolve(self, topology, seed) -> "FaultPlan":
+        """Expand :class:`CorrelatedCrashFault` events into per-node crashes.
+
+        Each member of an event's rectangle gets its own ``crash`` with a
+        reboot staggered by a uniform draw from the plan-level
+        ``"{seed}/correlated-crash"`` stream — deterministic in the scenario
+        seed alone, so the single-process build, the inline driver, and
+        every forked worker expand the exact same plan (events in plan
+        order, members in sorted location order).  Plans without correlated
+        events pass through untouched.
+        """
+        if not any(isinstance(e, CorrelatedCrashFault) for e in self.events):
+            return self
+        rng = random.Random(f"{seed}/correlated-crash")
+        present = sorted((loc.x, loc.y) for loc in topology.locations())
+        events: list[FaultEvent] = []
+        for event in self.events:
+            if not isinstance(event, CorrelatedCrashFault):
+                events.append(event)
+                continue
+            (x0, y0), (x1, y1) = event.rect
+            members = [
+                loc for loc in present if x0 <= loc[0] <= x1 and y0 <= loc[1] <= y1
+            ]
+            if not members:
+                raise NetworkError(
+                    f"correlated_crash rect {list(event.rect)} contains no "
+                    "deployed motes"
+                )
+            for member in members:
+                reboot = event.reboot_s
+                if reboot is not None and event.stagger_s:
+                    reboot = round(reboot + rng.uniform(0.0, event.stagger_s), 6)
+                events.append(
+                    CrashFault(
+                        kind="crash",
+                        at_s=event.at_s,
+                        nodes=(member,),
+                        reboot_s=reboot,
+                        volatile=event.volatile,
+                    )
+                )
+        return FaultPlan(events=tuple(sorted(events, key=lambda e: e.at_s)))
 
     # ------------------------------------------------------------------
     @property
@@ -349,6 +586,11 @@ class FaultPlan:
         owned = {(loc.x, loc.y) for loc in partition.regions[index].locations}
         kept: list[FaultEvent] = []
         for event in self.node_events:
+            if isinstance(event, CorrelatedCrashFault):
+                raise NetworkError(
+                    "correlated_crash events must be resolved (FaultPlan."
+                    "resolve) before a plan can be split across shards"
+                )
             if isinstance(event, LinkFault):
                 links = tuple(pair for pair in event.links if pair[1] in owned)
                 if links:
@@ -382,7 +624,7 @@ class FaultPlan:
                 until += duration
             reboot = getattr(event, "reboot_s", None)
             if reboot is not None:
-                until += reboot
+                until += reboot + getattr(event, "stagger_s", 0.0)
             end = max(end, until)
         return end
 
@@ -415,6 +657,13 @@ class FaultPlan:
                 entry["probability"] = event.probability
                 if event.duration_s is not None:
                     entry["duration_s"] = event.duration_s
+            elif isinstance(event, CorrelatedCrashFault):
+                entry["rect"] = [list(corner) for corner in event.rect]
+                entry["volatile"] = event.volatile
+                if event.reboot_s is not None:
+                    entry["reboot_s"] = event.reboot_s
+                if event.stagger_s:
+                    entry["stagger_s"] = event.stagger_s
             elif isinstance(event, WorkerFault):
                 entry["shard"] = event.shard
                 if event.hang_s is not None:

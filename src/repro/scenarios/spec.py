@@ -192,7 +192,7 @@ class Scenario:
         dynamics.start()
         from repro.faults import FaultPlan, install_faults
 
-        plan = FaultPlan.from_spec(self.faults)
+        plan = FaultPlan.from_spec(self.faults).resolve(topology, self.seed)
         plan.validate_against(topology)
         if plan.process_events:
             raise NetworkError(

@@ -178,7 +178,9 @@ class ShardWorker:
         # ignores it entirely.
         from repro.faults import FaultPlan, install_faults
 
-        plan = FaultPlan.from_spec(getattr(scenario, "faults", None))
+        plan = FaultPlan.from_spec(getattr(scenario, "faults", None)).resolve(
+            partition.topology, scenario.seed
+        )
         self.fault_injector = install_faults(self.net, plan.for_region(partition, index))
         if process_chaos and incarnation == 0:
             self._arm_process_chaos(plan)
@@ -205,22 +207,37 @@ class ShardWorker:
     def _arm_process_chaos(self, plan) -> None:
         """Schedule this shard's worker kill/hang events.  ``benign=True``:
         dying mid-simulation must not perturb the event hazard accounting,
-        so the replacement's re-execution is bit-identical up to the kill."""
+        so the replacement's re-execution is bit-identical up to the kill.
+        Handles are kept so a checkpoint clone can disarm them on fork — it
+        inherits the pending kill in its copy-on-write heap, and waking it
+        must not re-fire its parent's death."""
         import os
         import signal as signal_module
 
+        self._chaos_events = []
         for event in plan.process_events:
             if event.shard != self.index:
                 continue
             at = seconds(event.at_s)
             if event.kind == "worker_kill":
-                self.sim.schedule_at(
+                handle = self.sim.schedule_at(
                     at, os.kill, os.getpid(), signal_module.SIGKILL, benign=True
                 )
             else:  # worker_hang: stop heartbeating without exiting
-                self.sim.schedule_at(
+                handle = self.sim.schedule_at(
                     at, time.sleep, event.hang_s or 10_000.0, benign=True
                 )
+            self._chaos_events.append(handle)
+
+    def disarm_process_chaos(self) -> None:
+        """Cancel every pending chaos event (checkpoint-clone fork path).
+
+        Cancelled events never fire, so ``events_fired`` and the hazard
+        horizon stay exactly what a chaos-free replacement would produce —
+        the bit-equality contract holds on the checkpoint recovery path."""
+        for handle in getattr(self, "_chaos_events", ()):
+            handle.cancel()
+        self._chaos_events = []
 
     # ------------------------------------------------------------------
     # Outbound capture

@@ -8,10 +8,17 @@ Three load-bearing contracts:
 * **Deterministic replay** — a fixed-seed campaign produces identical
   counters every run, inline or forked, because all fault randomness comes
   from the seed-derived ``"faults"`` stream.
-* **Recovery by re-execution** — a sharded run that loses a worker to
-  SIGKILL finishes with counters bit-equal to an undisturbed run; only
+* **Recovery** — a sharded run that loses a worker to SIGKILL finishes with
+  counters bit-equal to an undisturbed run on *both* recovery paths: waking
+  a fork-based checkpoint clone with the message-log suffix (the default),
+  and full re-execution from t=0 (``checkpoint_every=0``).  Only
   ``RunResult.supervision`` records that anything happened.  A hung worker
   becomes a bounded-time error, never a deadlock.
+
+Window layering is pinned separately: overlapping link/noise windows stack
+per-pair layers (effective PRR = the minimum), a window expiring never
+removes a pair another live window still claims, and overlapping corrupt
+windows each get an independent draw per frame.
 """
 
 from __future__ import annotations
@@ -222,6 +229,150 @@ class TestLinkFaults:
         assert len(senders) == len(net.channel.radios) - 1
 
 
+class TestOverlappingWindows:
+    """Windows compose as layers; expiry peels only the expiring layer."""
+
+    def _pair(self, net, src, dst):
+        from repro.location import Location
+
+        return (
+            net.nodes[Location(*src)].mote.id,
+            net.nodes[Location(*dst)].mote.id,
+        )
+
+    def test_stacked_link_windows_compose_and_unwind(self):
+        net = corridor(3)
+        injector = install_faults(
+            net,
+            FaultPlan.from_spec(
+                {
+                    "events": [
+                        {
+                            "kind": "link",
+                            "at_s": 0.0,
+                            "links": [[[1, 1], [2, 1]]],
+                            "prr": 0.5,
+                            "duration_s": 4.0,
+                        },
+                        {
+                            "kind": "link",
+                            "at_s": 1.0,
+                            "links": [[[1, 1], [2, 1]]],
+                            "prr": 0.1,
+                            "duration_s": 1.0,
+                        },
+                    ]
+                }
+            ),
+        )
+        pair = self._pair(net, (1, 1), (2, 1))
+        net.run(0.5)
+        assert net.channel.prr_overrides[pair] == 0.5
+        net.run(1.0)  # t=1.5: both windows live — innermost (min) wins
+        assert net.channel.prr_overrides[pair] == 0.1
+        net.run(1.0)  # t=2.5: inner expired — the outer layer must survive
+        assert net.channel.prr_overrides[pair] == 0.5
+        net.run(2.0)  # t=4.5: both expired — nothing may linger
+        assert net.channel.prr_overrides == {}
+        assert injector.fault_link_windows == 2
+
+    def test_noise_burst_layers_over_active_link_window(self):
+        """A noise window opening on a pair an active link window already
+        degrades must not clobber it — and closing must restore it."""
+        net = corridor(3)
+        install_faults(
+            net,
+            FaultPlan.from_spec(
+                {
+                    "events": [
+                        {
+                            "kind": "link",
+                            "at_s": 0.0,
+                            "links": [[[1, 1], [2, 1]]],
+                            "prr": 0.0,
+                            "duration_s": 3.0,
+                        },
+                        {
+                            "kind": "noise",
+                            "at_s": 1.0,
+                            "nodes": [[2, 1]],
+                            "prr": 0.4,
+                            "duration_s": 1.0,
+                        },
+                    ]
+                }
+            ),
+        )
+        pair = self._pair(net, (1, 1), (2, 1))
+        other = self._pair(net, (3, 1), (2, 1))
+        net.run(1.5)  # both live: link's 0.0 is the inner layer on the pair
+        assert net.channel.prr_overrides[pair] == 0.0
+        assert net.channel.prr_overrides[other] == 0.4
+        net.run(1.0)  # t=2.5: noise closed — the link blackout must survive
+        assert net.channel.prr_overrides[pair] == 0.0
+        assert other not in net.channel.prr_overrides
+        net.run(1.0)  # t=3.5: link closed too
+        assert net.channel.prr_overrides == {}
+
+    def test_link_window_closing_restores_noise_layer(self):
+        """The converse: a link window expiring on a pair a longer noise
+        window still claims must fall back to the noise PRR, not delete."""
+        net = corridor(3)
+        install_faults(
+            net,
+            FaultPlan.from_spec(
+                {
+                    "events": [
+                        {
+                            "kind": "noise",
+                            "at_s": 0.0,
+                            "nodes": [[2, 1]],
+                            "prr": 0.4,
+                            "duration_s": 3.0,
+                        },
+                        {
+                            "kind": "link",
+                            "at_s": 1.0,
+                            "links": [[[1, 1], [2, 1]]],
+                            "prr": 0.0,
+                            "duration_s": 1.0,
+                        },
+                    ]
+                }
+            ),
+        )
+        pair = self._pair(net, (1, 1), (2, 1))
+        net.run(1.5)
+        assert net.channel.prr_overrides[pair] == 0.0
+        net.run(1.0)  # t=2.5: link closed — noise layer must be back
+        assert net.channel.prr_overrides[pair] == 0.4
+        net.run(1.0)  # t=3.5: noise closed
+        assert net.channel.prr_overrides == {}
+
+    def test_overlapping_corrupt_windows_draw_independently(self):
+        """A zero-probability window in front must not shadow a certain one
+        behind it: each spanning window gets its own draw, first hit wins."""
+        net = corridor(3)
+        injector = install_faults(
+            net,
+            FaultPlan.from_spec(
+                {
+                    "events": [
+                        {"kind": "corrupt", "at_s": 0.0, "probability": 0.0},
+                        {"kind": "corrupt", "at_s": 0.0, "probability": 1.0},
+                    ]
+                }
+            ),
+        )
+        run_agent(net, "pushloc 2 1\nsmove\nwait", at=(1, 1), timeout_s=4.0)
+        channel = net.channel
+        assert channel.corrupted_frames > 0
+        # The certain window corrupts every frame, and each frame is counted
+        # exactly once even though two windows span it.
+        assert channel.corrupted_frames == channel.frames_transmitted
+        assert injector.fault_frames_corrupted == channel.frames_transmitted
+
+
 class TestCrashFaults:
     def test_volatile_crash_wipes_agents_and_tuples(self):
         net = corridor(2)
@@ -297,6 +448,143 @@ class TestFrameCorruption:
 
 
 # ---------------------------------------------------------------------------
+# correlated crashes and generated campaigns
+
+
+class TestCorrelatedCrash:
+    RECT = {
+        "events": [
+            {
+                "kind": "correlated_crash",
+                "at_s": 0.5,
+                "rect": [[2, 1], [5, 3]],
+                "reboot_s": 0.4,
+                "stagger_s": 0.3,
+            }
+        ]
+    }
+
+    def test_parse_validates_corners_and_stagger(self):
+        with pytest.raises(NetworkError, match="min, max"):
+            FaultPlan.from_spec(
+                {
+                    "events": [
+                        {"kind": "correlated_crash", "at_s": 0.0, "rect": [[5, 3], [2, 1]]}
+                    ]
+                }
+            )
+        with pytest.raises(NetworkError, match="stagger_s requires reboot_s"):
+            FaultPlan.from_spec(
+                {
+                    "events": [
+                        {
+                            "kind": "correlated_crash",
+                            "at_s": 0.0,
+                            "rect": [[1, 1], [2, 2]],
+                            "stagger_s": 0.5,
+                        }
+                    ]
+                }
+            )
+
+    def test_resolve_expands_rect_into_staggered_crashes(self):
+        from repro.faults.plan import CrashFault
+        from repro.topology import from_spec as topology_from_spec
+
+        topology = topology_from_spec(BASE_SPEC["topology"])
+        plan = FaultPlan.from_spec(self.RECT)
+        resolved = plan.resolve(topology, seed=0)
+        crashes = [e for e in resolved.events if isinstance(e, CrashFault)]
+        assert len(crashes) == 4 * 3  # every mote in the inclusive rect
+        assert {e.nodes[0] for e in crashes} == {
+            (x, y) for x in range(2, 6) for y in range(1, 4)
+        }
+        for event in crashes:
+            assert event.at_s == 0.5  # the crash itself is simultaneous
+            assert 0.4 <= event.reboot_s <= 0.7  # reboot + uniform stagger
+        # The stagger draws come from a plan-level seed stream, so the
+        # expansion is identical on every call — and across every shard.
+        again = plan.resolve(topology, seed=0)
+        assert again.to_spec() == resolved.to_spec()
+        assert plan.resolve(topology, seed=1).to_spec() != resolved.to_spec()
+
+    def test_resolve_rejects_empty_rect(self):
+        from repro.topology import from_spec as topology_from_spec
+
+        topology = topology_from_spec(BASE_SPEC["topology"])
+        plan = FaultPlan.from_spec(
+            {
+                "events": [
+                    {"kind": "correlated_crash", "at_s": 0.5, "rect": [[50, 50], [60, 60]]}
+                ]
+            }
+        )
+        with pytest.raises(NetworkError, match="no deployed motes"):
+            plan.resolve(topology, seed=0)
+
+    def test_unresolved_plan_cannot_be_split(self):
+        from repro.shard.partition import partition_topology
+        from repro.topology import from_spec as topology_from_spec
+
+        topology = topology_from_spec(BASE_SPEC["topology"])
+        partition = partition_topology(topology, 2, spacing_m=60.0)
+        with pytest.raises(NetworkError, match="resolved"):
+            FaultPlan.from_spec(self.RECT).for_region(partition, 0)
+
+    def test_correlated_campaign_runs_and_replays(self):
+        first = repro.run(dict(BASE_SPEC, faults=self.RECT))
+        second = repro.run(dict(BASE_SPEC, faults=self.RECT))
+        assert first.counters == second.counters
+        assert first.counters["fault_crashes"] == 12
+        assert first.counters["fault_reboots"] == 12
+
+    def test_correlated_campaign_inline_process_parity(self):
+        spec = Scenario.from_spec(dict(BASE_SPEC, shards=2, faults=self.RECT))
+        inline = ShardedRunner(spec, mode="inline").run()
+        forked = ShardedRunner(spec).run()
+        assert _counters(inline) == _counters(forked)
+        assert forked.counters["fault_crashes"] == 12
+
+
+class TestGeneratedCampaigns:
+    SPEC = {
+        "field": [[1, 1], [8, 3]],
+        "duration_s": 2.0,
+        "count": 5,
+        "kinds": ["link", "noise", "crash", "corrupt", "correlated_crash"],
+    }
+
+    def test_generate_is_seed_deterministic(self):
+        first = FaultPlan.generate(0, self.SPEC)
+        assert FaultPlan.generate(0, self.SPEC).to_spec() == first.to_spec()
+        assert FaultPlan.generate(1, self.SPEC).to_spec() != first.to_spec()
+        assert len(first.events) == 5
+        assert all(e.kind in self.SPEC["kinds"] for e in first.events)
+
+    def test_generate_validates_spec(self):
+        with pytest.raises(NetworkError, match="field"):
+            FaultPlan.generate(0, {"duration_s": 2.0})
+        with pytest.raises(NetworkError, match="kinds"):
+            FaultPlan.generate(
+                0, dict(self.SPEC, kinds=["link", "worker_kill"])
+            )
+        with pytest.raises(NetworkError, match="keys"):
+            FaultPlan.generate(0, dict(self.SPEC, oops=1))
+
+    def test_generated_campaign_is_runnable_and_shard_safe(self):
+        """Generated events name explicit nodes inside the field, so the
+        campaign passes sharded validation and runs with parity."""
+        plan = FaultPlan.generate(3, self.SPEC)
+        spec = Scenario.from_spec(
+            dict(BASE_SPEC, shards=2, faults=plan.to_spec())
+        )
+        inline = ShardedRunner(spec, mode="inline").run()
+        forked = ShardedRunner(spec).run()
+        assert _counters(inline) == _counters(forked)
+        assert forked.counters["fault_events"] > 0
+
+
+# ---------------------------------------------------------------------------
 # sharded campaigns: parity and self-healing
 
 
@@ -321,9 +609,32 @@ class TestSelfHealing:
     KILL = {"events": [{"kind": "worker_kill", "at_s": 1.0, "shard": 1}]}
 
     def test_killed_worker_recovers_bit_identically(self):
+        """Full re-execution from t=0 (checkpointing disabled)."""
+        undisturbed = ShardedRunner(
+            Scenario.from_spec(dict(BASE_SPEC, shards=2)), checkpoint_every=0
+        ).run()
+        healed = ShardedRunner(
+            Scenario.from_spec(dict(BASE_SPEC, shards=2, faults=self.KILL)),
+            hang_timeout_s=30.0,
+            checkpoint_every=0,
+        ).run()
+        assert _counters(healed) == _counters(undisturbed)
+        assert healed.supervision["restarts"] == 1
+        assert "SIGKILL" in healed.supervision["incidents"][0]
+        assert healed.supervision["recovered_from_checkpoint"] == 0
+        assert healed.supervision["recoveries"][0]["via"] == "replay"
+        assert not undisturbed.supervision
+
+    def test_killed_worker_recovers_from_checkpoint_bit_identically(self):
+        """The default path: wake the newest fork snapshot with the log
+        suffix since the checkpoint, and land on the exact same bytes."""
         undisturbed = ShardedRunner(
             Scenario.from_spec(dict(BASE_SPEC, shards=2))
         ).run()
+        # Undisturbed supervision reports snapshot accounting and nothing
+        # else: no restarts, no incidents, no recoveries.
+        assert set(undisturbed.supervision) <= {"checkpoints"}
+        assert undisturbed.supervision["checkpoints"] > 0
         healed = ShardedRunner(
             Scenario.from_spec(dict(BASE_SPEC, shards=2, faults=self.KILL)),
             hang_timeout_s=30.0,
@@ -331,7 +642,29 @@ class TestSelfHealing:
         assert _counters(healed) == _counters(undisturbed)
         assert healed.supervision["restarts"] == 1
         assert "SIGKILL" in healed.supervision["incidents"][0]
-        assert not undisturbed.supervision
+        assert healed.supervision["recovered_from_checkpoint"] == 1
+        recovery = healed.supervision["recoveries"][0]
+        assert recovery["via"] == "checkpoint"
+        assert recovery["shard"] == 1
+        assert recovery["recovery_s"] >= 0.0
+
+    def test_restart_backoff_does_not_false_hang_neighbors(self):
+        """Regression: the supervisor's blocking restart backoff used to age
+        every other worker's hang deadline, so a backoff longer than
+        ``hang_timeout_s`` misdiagnosed a healthy (seam-blocked) neighbor
+        as hung.  Deadlines must measure worker silence, not supervisor
+        sleep."""
+        undisturbed = ShardedRunner(
+            Scenario.from_spec(dict(BASE_SPEC, shards=2)), checkpoint_every=0
+        ).run()
+        healed = ShardedRunner(
+            Scenario.from_spec(dict(BASE_SPEC, shards=2, faults=self.KILL)),
+            hang_timeout_s=2.0,
+            restart_backoff_s=2.5,
+            checkpoint_every=0,
+        ).run()
+        assert _counters(healed) == _counters(undisturbed)
+        assert healed.supervision["restarts"] == 1
 
     def test_restart_budget_exhausted_degrades_to_inline(self):
         undisturbed = ShardedRunner(
@@ -389,7 +722,10 @@ def test_fault_battery_end_to_end(tmp_path):
     from repro.bench.faults import run_fault_bench
 
     json_path = tmp_path / "BENCH_faults.json"
-    table = run_fault_bench(seed=0, duration_s=4.0, json_path=str(json_path))
+    # Full baseline duration: the replay-vs-checkpoint recovery_s gate below
+    # needs the late crash to leave real re-execution work behind, and at
+    # short durations the gap shrinks into scheduler noise.
+    table = run_fault_bench(seed=0, duration_s=10.0, json_path=str(json_path))
     rendered = table.render()
     assert "baseline" in rendered and "shard-selfheal" in rendered
     import json
@@ -398,4 +734,14 @@ def test_fault_battery_end_to_end(tmp_path):
     rows = {row["case"]: row for row in payload["rows"]}
     assert rows["shard-selfheal-w2"]["bitequal"] == 1
     assert rows["shard-selfheal-w2"]["restarts"] >= 1
+    assert rows["correlated-outage"]["fault_crashes"] > 0
+    # Both recovery paths reproduce the undisturbed bytes, and waking a
+    # checkpoint beats re-executing from t=0 for a late crash — the
+    # checkpointing contract this battery exists to gate.
+    replay = rows["shard-crash-replay-w2"]
+    ckpt = rows["shard-crash-ckpt-w2"]
+    assert replay["bitequal"] == 1 and ckpt["bitequal"] == 1
+    assert replay["recovered_from_checkpoint"] == 0
+    assert ckpt["recovered_from_checkpoint"] == 1
+    assert ckpt["recovery_s"] < replay["recovery_s"]
     assert all("events_per_s" in row and "case" in row for row in payload["rows"])
