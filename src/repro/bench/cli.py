@@ -140,13 +140,11 @@ def _fanout(args) -> list[Table]:
     json_path = (
         os.path.join(args.out, "BENCH_fanout.json") if args.out else "BENCH_fanout.json"
     )
-    return [
-        fanout.run_fanout_bench(
-            json_path=json_path,
-            node_counts=args.nodes,
-            seed=args.seed if args.seed is not None else 0,
-        )
-    ]
+    return fanout.run_fanout_bench(
+        json_path=json_path,
+        node_counts=args.nodes,
+        seed=args.seed if args.seed is not None else 0,
+    )
 
 
 def _worker_counts(text: str) -> tuple[int, ...]:

@@ -238,6 +238,9 @@ def _run_selfheal(
         "recovery_s": recoveries[0]["recovery_s"] if recoveries else 0.0,
         "bitequal": int(strip(healed) == strip(undisturbed)),
         "peak_rss_kb": peak_rss_kb(),
+        # Dormant-clone resident set: what the fork snapshots actually cost
+        # once copy-on-write pages diverge (0 when checkpointing is off).
+        "clone_rss_kb": healed.supervision.get("clone_rss_kb", 0),
     }
     for key in _FAULT_COUNTER_KEYS:
         row[key] = healed.counters.get(key, 0)
@@ -267,6 +270,8 @@ def run_fault_bench(
             "recovery s",
             "restarts",
             "ckpts",
+            "rss kB",
+            "clone kB",
         ],
     )
     rows: list[dict] = []
@@ -326,6 +331,8 @@ def run_fault_bench(
             row.get("recovery_s", "-"),
             row.get("restarts", "-"),
             row.get("checkpoints", "-"),
+            row.get("peak_rss_kb", 0),
+            row.get("clone_rss_kb", "-") or "-",
         )
     table.add_note(
         f"seed {seed}, {duration_s:.0f} simulated seconds per case on "
@@ -336,7 +343,9 @@ def run_fault_bench(
         "recovery is the supervisor's death-to-catch-up wall time (the "
         "shard-crash-replay/-ckpt pair heals the same late kill by full "
         "re-execution vs by waking the newest fork snapshot); bitequal=1 "
-        "means the healed run reproduced the undisturbed counters exactly"
+        "means the healed run reproduced the undisturbed counters exactly; "
+        "clone kB is the largest dormant-snapshot resident set the "
+        "supervisor sampled (the true copy-on-write cost of checkpointing)"
     )
     for row in rows:
         if "bitequal" in row and not row["bitequal"]:  # pragma: no cover

@@ -23,6 +23,15 @@ loss draws collapse into one ``rng.random_vector(n)`` call.  The
 :class:`~repro.radio.rngshim.CompatRng` stream shim guarantees that vector
 draw consumes the MT19937 stream exactly like the scalar per-receiver loop,
 so fixed-seed runs are bit-identical whichever path a frame takes.
+
+Carrier sense and the hearer queries are array-native too: ``busy_for``
+resolves "any audible active transmitter" as one gather over a cached
+audible-slot array (with :data:`VECTOR_SENSE_MIN` on-air transmissions and
+up), and ``hearers()`` builds its audience from spatial-hash cells kept as
+field-slot lists — concatenate, one vectorized ``in_range_mask``, one
+argsort by attach sequence.  Neither path consumes RNG, so they cannot
+perturb a fixed-seed stream at all; the hypothesis interleaving property
+pins vector carrier sense == the naive scalar scan after every mutation.
 """
 
 from __future__ import annotations
@@ -48,10 +57,24 @@ EFFECTIVE_BITRATE = 19_200
 #: scalar per-receiver loop to the vectorized field pass.  Both paths consume
 #: the RNG stream identically, so this is purely a throughput knob: numpy's
 #: per-call overhead (~8 array ops + one vector draw) only amortizes once the
-#: fan-out is wide enough.  Measured break-even is ~35 hearers (warm cache,
-#: ``bench fanout`` methodology); 32 keeps sparse scenarios (degree ≲ 25) on
-#: the scalar loop while dense fields get the 2–3× array pass.
-VECTOR_FANOUT_MIN = 32
+#: fan-out is wide enough.  Fusing the eligibility gathers into the single
+#: ``eligible_key`` compare, batching cache fills, and keeping the whole
+#: pass in slot space (no index-array materialization) put the measured
+#: break-even at 16 hearers (warm cache, ``bench fanout`` break-even sweep —
+#: see ``results/fanout.txt``); audiences below that stay on the scalar
+#: loop, where the early-exit dict row is still faster.
+VECTOR_FANOUT_MIN = 16
+
+#: On-air count at which :meth:`Channel.busy_for` switches from the scalar
+#: on-air scan to the audible-slot gather.  Like the fan-out threshold this
+#: is purely a throughput knob — neither path consumes RNG — but the scalar
+#: loop's early exit (and the per-tick active-transmission memo it walks)
+#: makes it unbeatable when a handful of frames are on the air: the gather
+#: costs ~2µs flat while the scan costs well under 0.2µs per on-air frame.
+#: The ``bench fanout`` carrier-sense sweep (``results/carrier-sense.txt``)
+#: puts the crossover at 16 on-air transmissions in the all-inaudible worst
+#: case (spatial reuse), the regime sharded dense fields actually hit.
+VECTOR_SENSE_MIN = 16
 
 
 @dataclass
@@ -98,9 +121,12 @@ class Radio:
         self._pending_carrier_sense = None  # EventHandle of the armed backoff
         self._attach_seq = 0  # set by Channel.attach; orders hearer lists
         self._slot: int | None = None  # RadioField slot; None once detached
-        # Statistics used by the benchmarks.
+        # Statistics used by the benchmarks.  Receptions are split between
+        # this scalar tally and the field's ``frames_received`` array (the
+        # vectorized fan-out increments slots in bulk); the property below
+        # presents the sum.
         self.frames_sent = 0
-        self.frames_received = 0
+        self._frames_received = 0
         self.bytes_sent = 0
 
     # ------------------------------------------------------------------
@@ -129,8 +155,27 @@ class Radio:
     def sim(self) -> Simulator:
         return self.channel.sim
 
+    @property
+    def frames_received(self) -> int:
+        slot = self._slot
+        if slot is None:
+            return self._frames_received
+        return self._frames_received + int(self.channel.field.frames_received[slot])
+
+    @frames_received.setter
+    def frames_received(self, value: int) -> None:
+        slot = self._slot
+        if slot is not None:
+            self.channel.field.frames_received[slot] = 0
+        self._frames_received = int(value)
+
     def set_receive_callback(self, callback: Callable[[Frame], None]) -> None:
         """Install the link-layer receive handler (one per radio)."""
+        # The channel counts installed handlers so the vector fan-out can
+        # skip the per-receiver callback loop outright on handler-free
+        # fields (benchmark rigs, ghost-only seams).
+        if (callback is None) != (self._receive_callback is None):
+            self.channel._receive_callbacks += 1 if callback is not None else -1
         self._receive_callback = callback
 
     @property
@@ -171,10 +216,18 @@ class Radio:
         self._pending_carrier_sense = self.sim.schedule(
             delay, self._carrier_sense, frame, on_done, attempt, benign=benign
         )
+        if self.channel.track_cs and self._slot is not None:
+            # Mirror the armed fire time so the shard worker's lookahead
+            # horizon is a min-reduction over boundary slots, not an event-
+            # handle walk (see ShardWorker.horizon).  Only shard workers
+            # read the mirror, so single-process runs skip the array write.
+            self.channel.field.arm_cs(self._slot, self.sim.now + delay)
 
     def _carrier_sense(
         self, frame: Frame, on_done: Callable[[bool], None] | None, attempt: int
     ) -> None:
+        if self.channel.track_cs and self._slot is not None:
+            self.channel.field.clear_cs(self._slot)
         if not self.enabled:
             self._finish_send(on_done, False)
             return
@@ -220,7 +273,7 @@ class Radio:
 
     def deliver(self, frame: Frame) -> None:
         """Hand a successfully received frame to the link-layer handler."""
-        self.frames_received += 1
+        self._frames_received += 1
         if self._receive_callback is not None:
             self._receive_callback(frame)
 
@@ -279,17 +332,45 @@ class Channel:
         #: The handful of transmissions currently on the air: what carrier
         #: sense scans, and the source of each new frame's overlap set.
         self._on_air: list[Transmission] = []
+        #: On-air transmissions whose radio detached mid-flight: their field
+        #: slot is released (reads idle), so the audible-slot gather cannot
+        #: see them and carrier sense falls back to scanning this (normally
+        #: empty) list.
+        self._detached_on_air: list[Transmission] = []
+        # Same-tick carrier-sense batching: the interval-filtered active
+        # sublist of ``_on_air`` is computed once per (tick, air epoch) and
+        # shared by every armed-backoff re-check that lands on that tick.
+        self._air_epoch = 0
+        self._sense_tick = -1
+        self._sense_epoch = -1
+        self._sense_active: list[Transmission] = []
         # Hearer index: mote id -> radios in range of that transmitter, in
         # attach order (kept as list for iteration plus id-set for membership
-        # plus, lazily, field-slot array for the vectorized fan-out).
+        # plus field-slot array for the vectorized fan-out).  ``_audible_slots``
+        # is the reverse view carrier sense gathers over: the field slots of
+        # every radio whose transmissions this mote can hear.  All four are
+        # dropped by exactly the same attach/move/detach/model hooks.
         self._hearers: dict[int, list[Radio]] = {}
         self._hearer_ids: dict[int, frozenset[int]] = {}
         self._hearer_slots: dict[int, "np.ndarray"] = {}
-        self._cells: dict[tuple[int, int], list[Radio]] | None = None
+        self._audible_slots: dict[int, "np.ndarray"] = {}
+        #: Spatial hash: cell -> field slots of the radios in it (cell size =
+        #: radio range), the index base both hearer queries concatenate.
+        self._cells: dict[tuple[int, int], list[int]] | None = None
         self._cell_size: float = 0.0
         #: Fan-out width at which delivery switches to the vectorized pass.
         #: Tunable per channel (benchmarks force both paths with it).
         self.vector_fanout_min = VECTOR_FANOUT_MIN
+        #: On-air count at which carrier sense switches to the audible-slot
+        #: gather (same per-channel tunability).
+        self.vector_sense_min = VECTOR_SENSE_MIN
+        #: Maintain the field's armed-carrier-sense mirror (``cs_time``).
+        #: Off by default — only shard workers read it (their lookahead
+        #: horizon min-reduces over boundary slots), so single-process runs
+        #: skip two array writes per MAC attempt.
+        self.track_cs = False
+        #: Installed receive handlers (see Radio.set_receive_callback).
+        self._receive_callbacks = 0
         #: Memoized per-pair PRRs (see :mod:`repro.radio.linkcache`).
         self.link_cache = LinkCache(self._link_model, self.field)
         #: Per (src mote id, dst mote id) PRR override for failure injection.
@@ -308,6 +389,11 @@ class Channel:
         self.prr_drops = 0
         self.corrupted_frames = 0
         self.mac_giveups = 0
+        #: Carrier-sense path counters: idle early-outs (nothing on the air),
+        #: scalar scans, and vectorized audible-slot gathers.
+        self.sense_idle = 0
+        self.sense_scalar = 0
+        self.sense_vector = 0
         self.full_invalidations = 0
         self.index_moves = 0
         #: Bytes sent by radios that have since detached, so totals summed
@@ -339,7 +425,9 @@ class Channel:
         radio._attach_seq = self._attach_counter
         self._attach_counter += 1
         self._radios[mote.id] = radio
-        radio._slot = self.field.allocate(mote.id, position)
+        radio._slot = self.field.allocate(
+            mote.id, position, attach_seq=radio._attach_seq
+        )
         mote.radio = radio
         # A re-used mote id (detach then re-attach) must not inherit the
         # departed radio's cached link quality.
@@ -356,23 +444,27 @@ class Channel:
         self._hearers.clear()
         self._hearer_ids.clear()
         self._hearer_slots.clear()
+        self._audible_slots.clear()
         self._cells = None
 
     def _drop_cached(self, mote_id: int) -> None:
         self._hearers.pop(mote_id, None)
         self._hearer_ids.pop(mote_id, None)
         self._hearer_slots.pop(mote_id, None)
+        self._audible_slots.pop(mote_id, None)
 
     def _drop_cached_near(self, position: Position) -> None:
-        """Drop the cached hearer lists of every radio within one cell of
-        ``position`` — the only lists a change at ``position`` can affect,
+        """Drop the cached hearer lists (and audible-slot arrays — the same
+        symmetric in-range relation) of every radio within one cell of
+        ``position`` — the only caches a change at ``position`` can affect,
         since audibility is bounded by the cell size (= radio range)."""
         assert self._cells is not None
+        mote_ids = self.field.mote_ids
         cx, cy = self._cell_of(position)
         for dx in (-1, 0, 1):
             for dy in (-1, 0, 1):
-                for other in self._cells.get((cx + dx, cy + dy), ()):
-                    self._drop_cached(other.mote.id)
+                for slot in self._cells.get((cx + dx, cy + dy), ()):
+                    self._drop_cached(int(mote_ids[slot]))
 
     def move(self, mote_id: int, position: Position) -> None:
         """Move a radio to a new physical position, re-keying incrementally.
@@ -408,10 +500,10 @@ class Channel:
         new_cell = self._cell_of(position)
         if new_cell != old_cell:
             bucket = self._cells[old_cell]
-            bucket.remove(radio)
+            bucket.remove(radio._slot)
             if not bucket:
                 del self._cells[old_cell]
-            self._cells.setdefault(new_cell, []).append(radio)
+            self._cells.setdefault(new_cell, []).append(radio._slot)
             # Same-cell moves share the old position's 9-cell ring, already
             # dropped above; only a cell crossing exposes new lists.
             self._drop_cached_near(position)
@@ -432,6 +524,11 @@ class Channel:
         radio.enabled = False
         self.link_cache.invalidate(mote_id)
         self.retired_bytes_sent += radio.bytes_sent
+        if radio._current_tx is not None:
+            # The frame still on the air outlives the field slot (released
+            # below): keep it visible to the vectorized carrier sense via
+            # the detached fallback list until its end event fires.
+            self._detached_on_air.append(radio._current_tx)
         if self._cells is not None:
             if self._cell_size <= 0.0:
                 self.invalidate_neighbor_index()
@@ -439,11 +536,14 @@ class Channel:
                 self._drop_cached_near(radio.position)
                 cell = self._cell_of(radio.position)
                 bucket = self._cells.get(cell)
-                if bucket is not None and radio in bucket:
-                    bucket.remove(radio)
+                if bucket is not None and radio._slot in bucket:
+                    bucket.remove(radio._slot)
                     if not bucket:
                         del self._cells[cell]
         self._drop_cached(mote_id)
+        # Fold the vector-path reception tally back into the radio before
+        # its slot (and the array entry) is recycled.
+        radio._frames_received += int(self.field.frames_received[radio._slot])
         # Free the field slot last: the ``enabled`` setter above still wrote
         # through it.  The released slot reads disabled/idle until reused.
         self.field.release(mote_id)
@@ -452,19 +552,23 @@ class Channel:
 
     def _ensure_cells(self) -> None:
         """(Re)build the spatial hash: cell size = radio range, so any pair
-        within range lands in the same or an adjacent cell."""
+        within range lands in the same or an adjacent cell.  Buckets hold
+        *field slots*, so a hearer query concatenates them straight into a
+        fancy index over the field arrays."""
         if self._cells is not None:
             return
         range_m = getattr(self._link_model, "range_m", None)
-        cells: dict[tuple[int, int], list[Radio]] = {}
+        cells: dict[tuple[int, int], list[int]] = {}
         if range_m is None or not (range_m > 0.0) or not math.isfinite(range_m):
             # Unknown reach: one bucket, candidates degrade to all radios.
             self._cell_size = 0.0
-            cells[(0, 0)] = list(self._radios.values())
+            cells[(0, 0)] = [radio._slot for radio in self._radios.values()]
         else:
             self._cell_size = float(range_m)
             for radio in self._radios.values():
-                cells.setdefault(self._cell_of(radio.position), []).append(radio)
+                cells.setdefault(self._cell_of(radio.position), []).append(
+                    radio._slot
+                )
         self._cells = cells
 
     def _cell_of(self, position: Position) -> tuple[int, int]:
@@ -475,33 +579,72 @@ class Channel:
             math.floor(position[1] / self._cell_size),
         )
 
+    def _candidate_buckets(self, position: Position) -> list[list[int]]:
+        """The spatial-hash slot buckets a radio at ``position`` could hear
+        across (its own cell and the 8 surrounding ones)."""
+        assert self._cells is not None
+        if self._cell_size <= 0.0:
+            bucket = self._cells.get((0, 0))
+            return [bucket] if bucket else []
+        cx, cy = self._cell_of(position)
+        cells = self._cells
+        buckets = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                bucket = cells.get((cx + dx, cy + dy))
+                if bucket:
+                    buckets.append(bucket)
+        return buckets
+
+    def _selected_slots(self, position: Position, own_slot: int | None) -> "np.ndarray":
+        """Field slots within link range of ``position`` (excluding
+        ``own_slot``), sorted by attach sequence: one concatenation, one
+        vectorized distance mask, one argsort.  Requires a link model with
+        the ``in_range_mask`` hook."""
+        buckets = self._candidate_buckets(position)
+        count = sum(len(bucket) for bucket in buckets)
+        field = self.field
+        candidates = np.fromiter(
+            (slot for bucket in buckets for slot in bucket),
+            dtype=np.intp,
+            count=count,
+        )
+        mask = self._link_model.in_range_mask(position, field.positions[candidates])
+        if own_slot is not None:
+            mask &= candidates != own_slot
+        selected = candidates[mask]
+        return selected[np.argsort(field.attach_seq[selected])]
+
     def hearers(self, radio: Radio) -> list[Radio]:
         """Radios the link model lets hear ``radio``, in attach order."""
-        cached = self._hearers.get(radio.mote.id)
+        mote_id = radio.mote.id
+        cached = self._hearers.get(mote_id)
         if cached is not None:
             return cached
         self._ensure_cells()
-        assert self._cells is not None
-        in_range = self._link_model.in_range
-        position = radio.position
-        if self._cell_size <= 0.0:
-            candidates = self._cells.get((0, 0), [])
+        if hasattr(self._link_model, "in_range_mask"):
+            slots = self._selected_slots(radio.position, radio._slot)
+            radios = self._radios
+            ids = self.field.mote_ids[slots].tolist()
+            audience = [radios[mote] for mote in ids]
+            self._hearer_slots[mote_id] = slots
+            self._hearer_ids[mote_id] = frozenset(ids)
         else:
-            cx, cy = self._cell_of(position)
-            candidates = [
+            # Scalar fallback for link models without the vector hook.
+            in_range = self._link_model.in_range
+            position = radio.position
+            radios = self._radios
+            mote_ids = self.field.mote_ids
+            audience = [
                 other
-                for dx in (-1, 0, 1)
-                for dy in (-1, 0, 1)
-                for other in self._cells.get((cx + dx, cy + dy), ())
+                for bucket in self._candidate_buckets(position)
+                for slot in bucket
+                if (other := radios[int(mote_ids[slot])]) is not radio
+                and in_range(position, other.position)
             ]
-        audience = [
-            other
-            for other in candidates
-            if other is not radio and in_range(position, other.position)
-        ]
-        audience.sort(key=lambda r: r._attach_seq)
-        self._hearers[radio.mote.id] = audience
-        self._hearer_ids[radio.mote.id] = frozenset(r.mote.id for r in audience)
+            audience.sort(key=lambda r: r._attach_seq)
+            self._hearer_ids[mote_id] = frozenset(r.mote.id for r in audience)
+        self._hearers[mote_id] = audience
         return audience
 
     def _can_hear(self, src: Radio, dst: Radio) -> bool:
@@ -522,13 +665,73 @@ class Channel:
         return round(frame.air_bytes * 8 * 1_000_000 / self.bitrate)
 
     # ------------------------------------------------------------------
+    def _audible_slots_for(self, radio: Radio) -> "np.ndarray":
+        """Field slots whose transmissions ``radio`` can hear, cached.
+
+        The mirror image of :meth:`hearers` (identical for the symmetric
+        distance models that define ``in_range_mask``), dropped by exactly
+        the same attach/move/detach/model hooks, so one gather of
+        ``field.tx_end`` at these slots answers carrier sense.
+        """
+        slots = self._audible_slots.get(radio.mote.id)
+        if slots is None:
+            self._ensure_cells()
+            slots = self._selected_slots(radio.position, radio._slot)
+            self._audible_slots[radio.mote.id] = slots
+        return slots
+
+    def _active_on_air(self, now: int) -> list[Transmission]:
+        """The interval-filtered on-air sublist, computed once per tick.
+
+        Every armed-backoff re-check landing on the same tick shares it:
+        the air can only change through begin/end_transmission (which bump
+        ``_air_epoch``), never from inside a carrier-sense event.
+        """
+        if self._sense_tick == now and self._sense_epoch == self._air_epoch:
+            return self._sense_active
+        active = [tx for tx in self._on_air if tx.start <= now < tx.end]
+        self._sense_tick = now
+        self._sense_epoch = self._air_epoch
+        self._sense_active = active
+        return active
+
     def busy_for(self, radio: Radio) -> bool:
-        """Carrier sense: is any audible transmission in progress?"""
+        """Carrier sense: is any audible transmission in progress?
+
+        Nothing on the air is the common case and costs one list check.
+        Past :attr:`vector_sense_min` on-air transmissions the answer is a
+        single ``tx_end`` gather over the cached audible-slot array — an
+        in-flight transmission always has ``tx_start <= now``, so
+        ``tx_end > now`` alone means "active right now" (idle slots read
+        -1).  Below the threshold the scalar scan's early exit wins.
+        Neither path draws RNG.
+        """
+        on_air = self._on_air
+        if not on_air:
+            self.sense_idle += 1
+            return False
         now = self.sim.now
-        for tx in self._on_air:
-            if tx.start <= now < tx.end and tx.radio is not radio:
-                if self._can_hear(tx.radio, radio):
-                    return True
+        if (
+            len(on_air) >= self.vector_sense_min
+            and radio._slot is not None
+            and hasattr(self._link_model, "in_range_mask")
+        ):
+            self.sense_vector += 1
+            slots = self._audible_slots_for(radio)
+            if slots.size and bool((self.field.tx_end[slots] > now).any()):
+                return True
+            if self._detached_on_air:
+                # Mid-flight detachments released their slot; scan them the
+                # scalar way (the list is almost always empty).
+                for tx in self._detached_on_air:
+                    if tx.start <= now < tx.end and tx.radio is not radio:
+                        if self._can_hear(tx.radio, radio):
+                            return True
+            return False
+        self.sense_scalar += 1
+        for tx in self._active_on_air(now):
+            if tx.radio is not radio and self._can_hear(tx.radio, radio):
+                return True
         return False
 
     def begin_transmission(self, tx: Transmission) -> None:
@@ -552,6 +755,7 @@ class Channel:
                     tx.overlaps = []
                 tx.overlaps.append(other)
         self._on_air.append(tx)
+        self._air_epoch += 1
         self.frames_transmitted += 1
         if self.on_transmission is not None:
             self.on_transmission(tx)
@@ -582,6 +786,9 @@ class Channel:
         transmission history.
         """
         self._on_air.remove(tx)
+        self._air_epoch += 1
+        if self._detached_on_air and tx in self._detached_on_air:
+            self._detached_on_air.remove(tx)
         if tx.corrupted:
             # Injected corruption: the frame jammed the medium for its full
             # airtime but no receiver passes CRC — no eligibility checks, no
@@ -667,7 +874,7 @@ class Channel:
         # 1000 nodes where fan-out is the profile's top line.
         frame = tx.frame
         for radio in delivered:
-            radio.frames_received += 1
+            radio._frames_received += 1
             callback = radio._receive_callback
             if callback is not None:
                 callback(frame)
@@ -702,11 +909,10 @@ class Channel:
         tx_radio = tx.radio
         tx_id = tx_radio.mote.id
         slots = self._slots_for(tx_id, hearers)
-        start, end = tx.start, tx.end
-        # Pass 1: eligibility (powered, not mid-transmission) as one mask.
-        eligible = field.enabled[slots] & ~(
-            (field.tx_start[slots] < end) & (field.tx_end[slots] > start)
-        )
+        end = tx.end
+        # Pass 1: eligibility (powered, not mid-transmission) fused into a
+        # single gather + compare (see ``RadioField.eligible_key``).
+        eligible = field.eligible_key[slots] >= end
         if tx.overlaps:
             # Collision mask: mark every slot each overlapping transmitter
             # reaches (plus its own — half-duplex, a radio hears itself) in
@@ -720,42 +926,62 @@ class Channel:
             collided &= eligible  # scalar loop only counts eligible hearers
             self.collisions += int(np.count_nonzero(collided))
             eligible &= ~collided
-        receivers = np.flatnonzero(eligible)
-        n = int(receivers.size)
+        # Everything below works in slot space: the receiver set is a slot
+        # array, and radio objects are resolved through ``mote_ids`` only
+        # where a Python-side hand-off (callback, scalar fill) needs them.
+        rslots = slots[eligible]
+        n = int(rslots.size)
         if n == 0:
             return
-        rslots = slots[receivers]
         # Pass 2: PRR resolution — override ▸ cached row vector ▸ model fill.
         cache = self.link_cache
         prrs = cache.row_array(tx_id)[rslots]
         override_mask, override_values = self._gather_overrides(tx_id, rslots)
-        known = ~np.isnan(prrs)
+        unresolved = np.isnan(prrs)
         if override_mask is not None:
-            known &= ~override_mask
-            unresolved = ~known & ~override_mask
+            unresolved &= ~override_mask
+            misses = int(np.count_nonzero(unresolved))
+            cache.cache_hits += n - misses - int(np.count_nonzero(override_mask))
         else:
-            unresolved = ~known
-        cache.cache_hits += int(np.count_nonzero(known))
-        if unresolved.any():
+            misses = int(np.count_nonzero(unresolved))
+            cache.cache_hits += n - misses
+        if misses:
             tx_position = tx_radio.position
-            for k in np.flatnonzero(unresolved).tolist():
-                radio = hearers[receivers[k]]
-                prrs[k] = cache.fill(tx_id, tx_position, radio.mote.id, radio.position)
+            if hasattr(self._link_model, "prr_vector"):
+                prrs[unresolved] = cache.fill_slots(
+                    tx_id, tx_position, rslots[unresolved]
+                )
+            else:
+                radios = self._radios
+                mote_ids = field.mote_ids
+                for k, slot in zip(
+                    np.flatnonzero(unresolved).tolist(),
+                    rslots[unresolved].tolist(),
+                ):
+                    radio = radios[int(mote_ids[slot])]
+                    prrs[k] = cache.fill(
+                        tx_id, tx_position, radio.mote.id, radio.position
+                    )
         if override_mask is not None:
             prrs[override_mask] = override_values[override_mask]
-        # Pass 3: every receiver's Bernoulli outcome from one vector draw.
+        # Pass 3: every receiver's Bernoulli outcome from one vector draw,
+        # reception tallies as one fancy increment (receiver slots are
+        # unique, so ``+= 1`` cannot lose updates), and the Python loop only
+        # when somebody actually installed a receive handler.
         success = self.rng.random_vector(n) < prrs
-        delivered = receivers[success]
-        self.prr_drops += n - int(delivered.size)
-        if delivered.size == 0:
+        delivered = int(np.count_nonzero(success))
+        self.prr_drops += n - delivered
+        if delivered == 0:
             return
-        frame = tx.frame
-        for j in delivered.tolist():
-            radio = hearers[j]
-            radio.frames_received += 1
-            callback = radio._receive_callback
-            if callback is not None:
-                callback(frame)
+        dslots = rslots[success]
+        field.frames_received[dslots] += 1
+        if self._receive_callbacks:
+            frame = tx.frame
+            radios = self._radios
+            for mote_id in field.mote_ids[dslots].tolist():
+                callback = radios[mote_id]._receive_callback
+                if callback is not None:
+                    callback(frame)
 
     def _mark_overlaps(
         self, tx: Transmission, mark: "np.ndarray"

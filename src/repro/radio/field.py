@@ -42,6 +42,28 @@ from repro.radio.linkmodels import Position
 #: (their interval is [0, -1)).
 NO_TX_END = -1
 
+#: ``cs_time`` value for "no carrier-sense event armed".  Matches the shard
+#: protocol's ``GRANT_FOREVER`` (1 << 62), so a min-reduction over boundary
+#: slots degrades to "no bound" exactly like the scalar pending-event scan.
+NO_CS = 1 << 62
+
+#: ``eligible_key`` encodes receiver eligibility as a single int64 so the
+#: fan-out's "powered and not mid-transmission during [start, end)" test is
+#: one gather and one compare (``eligible_key >= end``) instead of three
+#: gathers and four array ops:
+#:
+#: * disabled            → ``ELIGIBLE_NEVER``  (less than any frame end)
+#: * enabled, idle       → ``ELIGIBLE_IDLE``   (greater than any sim time)
+#: * enabled, mid-tx     → its ``tx_start``
+#:
+#: The collapse to one comparand is sound because an in-flight receiver
+#: transmission always satisfies ``tx_end > start`` at the delivering
+#: frame's end-of-airtime (its end event has not fired, so ``tx_end >= now
+#: == end > start``), leaving ``tx_start >= end`` as the only way the old
+#: two-sided overlap test could pass.
+ELIGIBLE_NEVER = -(1 << 62)
+ELIGIBLE_IDLE = 1 << 62
+
 _INITIAL_CAPACITY = 16
 
 
@@ -55,6 +77,10 @@ class RadioField:
         "enabled",
         "tx_start",
         "tx_end",
+        "eligible_key",
+        "cs_time",
+        "attach_seq",
+        "frames_received",
         "mote_ids",
         "slot_of",
         "scratch_bool",
@@ -69,6 +95,22 @@ class RadioField:
         self.enabled = np.zeros(self.capacity, dtype=bool)
         self.tx_start = np.zeros(self.capacity, dtype=np.int64)
         self.tx_end = np.full(self.capacity, NO_TX_END, dtype=np.int64)
+        #: Fused eligibility comparand (see :data:`ELIGIBLE_NEVER`), kept in
+        #: step with ``enabled``/``tx_start``/``tx_end`` by the hooks below.
+        self.eligible_key = np.full(self.capacity, ELIGIBLE_NEVER, dtype=np.int64)
+        #: Fire time of the slot's armed carrier-sense event (``NO_CS`` when
+        #: none pending) — the shard worker's lookahead horizon min-reduces
+        #: this over its boundary slots instead of walking event handles.
+        self.cs_time = np.full(self.capacity, NO_CS, dtype=np.int64)
+        #: Attach order (monotone per channel; -1 when free): the sort key
+        #: that makes the vectorized hearer query's ordering identical to
+        #: the scalar list sort.
+        self.attach_seq = np.full(self.capacity, -1, dtype=np.int64)
+        #: Frames delivered to the slot's radio by the *vectorized* fan-out
+        #: (one fancy ``+= 1`` per frame instead of a Python loop).  A
+        #: radio's total is this plus its scalar-path tally; folded back
+        #: into the radio on release.
+        self.frames_received = np.zeros(self.capacity, dtype=np.int64)
         self.mote_ids = np.full(self.capacity, -1, dtype=np.int64)
         #: mote id -> slot, the inverse of ``mote_ids``.
         self.slot_of: dict[int, int] = {}
@@ -86,6 +128,7 @@ class RadioField:
         position: Position,
         enabled: bool = True,
         tx_power_dbm: float = 0.0,
+        attach_seq: int = -1,
     ) -> int:
         """Claim a slot for ``mote_id`` and seed its state; returns the slot."""
         if mote_id in self.slot_of:
@@ -99,6 +142,10 @@ class RadioField:
         self.enabled[slot] = enabled
         self.tx_start[slot] = 0
         self.tx_end[slot] = NO_TX_END
+        self.eligible_key[slot] = ELIGIBLE_IDLE if enabled else ELIGIBLE_NEVER
+        self.cs_time[slot] = NO_CS
+        self.attach_seq[slot] = attach_seq
+        self.frames_received[slot] = 0
         self.mote_ids[slot] = mote_id
         self.slot_of[mote_id] = slot
         return slot
@@ -115,6 +162,10 @@ class RadioField:
         self.enabled[slot] = False
         self.tx_start[slot] = 0
         self.tx_end[slot] = NO_TX_END
+        self.eligible_key[slot] = ELIGIBLE_NEVER
+        self.cs_time[slot] = NO_CS
+        self.attach_seq[slot] = -1
+        self.frames_received[slot] = 0
         self.mote_ids[slot] = -1
         self._free.append(slot)
 
@@ -127,13 +178,30 @@ class RadioField:
 
     def set_enabled(self, slot: int, up: bool) -> None:
         self.enabled[slot] = up
+        if not up:
+            self.eligible_key[slot] = ELIGIBLE_NEVER
+        elif self.tx_end[slot] != NO_TX_END:
+            self.eligible_key[slot] = self.tx_start[slot]
+        else:
+            self.eligible_key[slot] = ELIGIBLE_IDLE
 
     def begin_tx(self, slot: int, start: int, end: int) -> None:
         self.tx_start[slot] = start
         self.tx_end[slot] = end
+        self.eligible_key[slot] = start if self.enabled[slot] else ELIGIBLE_NEVER
 
     def end_tx(self, slot: int) -> None:
         self.tx_end[slot] = NO_TX_END
+        self.eligible_key[slot] = (
+            ELIGIBLE_IDLE if self.enabled[slot] else ELIGIBLE_NEVER
+        )
+
+    def arm_cs(self, slot: int, at: int) -> None:
+        """Mirror an armed carrier-sense event's fire time."""
+        self.cs_time[slot] = at
+
+    def clear_cs(self, slot: int) -> None:
+        self.cs_time[slot] = NO_CS
 
     # ------------------------------------------------------------------
     def slots_of(self, mote_ids: list[int]) -> "np.ndarray":
@@ -158,6 +226,18 @@ class RadioField:
         self.tx_start = np.concatenate([self.tx_start, np.zeros(old, dtype=np.int64)])
         self.tx_end = np.concatenate(
             [self.tx_end, np.full(old, NO_TX_END, dtype=np.int64)]
+        )
+        self.eligible_key = np.concatenate(
+            [self.eligible_key, np.full(old, ELIGIBLE_NEVER, dtype=np.int64)]
+        )
+        self.cs_time = np.concatenate(
+            [self.cs_time, np.full(old, NO_CS, dtype=np.int64)]
+        )
+        self.attach_seq = np.concatenate(
+            [self.attach_seq, np.full(old, -1, dtype=np.int64)]
+        )
+        self.frames_received = np.concatenate(
+            [self.frames_received, np.zeros(old, dtype=np.int64)]
         )
         self.mote_ids = np.concatenate(
             [self.mote_ids, np.full(old, -1, dtype=np.int64)]

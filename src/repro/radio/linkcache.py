@@ -135,6 +135,36 @@ class LinkCache:
         sources.add(src_id)
         return prr
 
+    def fill_slots(
+        self, src_id: int, src_pos: Position, slots: "np.ndarray"
+    ) -> "np.ndarray":
+        """Vectorized :meth:`fill` for several unresolved receivers at once.
+
+        One ``prr_vector`` model call replaces the per-receiver
+        compute-and-store loop; the dict rows, reverse index, dense row
+        array and ``cache_misses`` counter end up exactly as ``slots.size``
+        scalar fills would have left them (``prr_vector`` is bit-identical
+        to ``prr`` per element — see :mod:`repro.radio.linkmodels`).
+        """
+        field = self._field
+        assert field is not None, "fill_slots needs a bound RadioField"
+        values = self._model.prr_vector(src_pos, field.positions[slots])
+        self.cache_misses += int(slots.size)
+        row = self._rows.get(src_id)
+        if row is None:
+            row = self._rows[src_id] = {}
+        sources_at = self._sources_at
+        for dst_id, prr in zip(field.mote_ids[slots].tolist(), values.tolist()):
+            row[dst_id] = prr
+            sources = sources_at.get(dst_id)
+            if sources is None:
+                sources = sources_at[dst_id] = set()
+            sources.add(src_id)
+        arr = self._row_arrays.get(src_id)
+        if arr is not None and arr.size == field.capacity:
+            arr[slots] = values
+        return values
+
     # ------------------------------------------------------------------
     def invalidate(self, mote_id: int) -> None:
         """Drop every cached pair ``mote_id`` participates in (either end).

@@ -12,11 +12,27 @@ radios reach ~100 m, and per-link PRR around 0.92 makes the Figure 9
 reliability curves land where the paper measured them (see DESIGN.md §5).
 Zhao & Govindan [25] report exactly this kind of lossy-but-usable link in
 dense deployments.
+
+Each builtin model also answers both questions *vectorized* — one origin
+against an ``(n, 2)`` position array — via :meth:`in_range_mask` and
+:meth:`prr_vector`.  The scalar and vector forms are bit-identical by
+construction: ``_distance`` is ``sqrt(dx*dx + dy*dy)`` through
+:func:`math.sqrt`, which is correctly rounded and therefore agrees with
+``numpy.sqrt`` on every float64 (unlike ``** 0.5``, which routes through
+``pow`` and differs in the last ulp for ~1 input in 1000), and float64
+multiply/subtract are IEEE-exact in both runtimes.  Custom models may omit
+the vector methods; the channel falls back to the scalar loop.  A model
+that defines them must keep ``in_range`` symmetric in its endpoints (all
+distance-based models are), because the channel evaluates the mask from
+either end of a link.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Protocol
+
+from repro.radio._np import np
 
 Position = tuple[float, float]
 
@@ -31,7 +47,17 @@ DEFAULT_PRR = 0.925
 
 
 def _distance(a: Position, b: Position) -> float:
-    return ((a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2) ** 0.5
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return math.sqrt(dx * dx + dy * dy)
+
+
+def _distance_vector(origin: Position, positions: "np.ndarray") -> "np.ndarray":
+    """Distances from ``origin`` to each row of an ``(n, 2)`` array,
+    bit-identical to :func:`_distance` per element (see module docstring)."""
+    dx = positions[:, 0] - origin[0]
+    dy = positions[:, 1] - origin[1]
+    return np.sqrt(dx * dx + dy * dy)
 
 
 class LinkModel(Protocol):
@@ -53,8 +79,14 @@ class PerfectLinks:
     def in_range(self, src: Position, dst: Position) -> bool:
         return _distance(src, dst) <= self.range_m
 
+    def in_range_mask(self, origin: Position, positions: "np.ndarray") -> "np.ndarray":
+        return _distance_vector(origin, positions) <= self.range_m
+
     def prr(self, src: Position, dst: Position) -> float:
         return 1.0 if self.in_range(src, dst) else 0.0
+
+    def prr_vector(self, origin: Position, positions: "np.ndarray") -> "np.ndarray":
+        return np.where(self.in_range_mask(origin, positions), 1.0, 0.0)
 
 
 class UniformLossLinks:
@@ -74,8 +106,14 @@ class UniformLossLinks:
     def in_range(self, src: Position, dst: Position) -> bool:
         return _distance(src, dst) <= self.range_m
 
+    def in_range_mask(self, origin: Position, positions: "np.ndarray") -> "np.ndarray":
+        return _distance_vector(origin, positions) <= self.range_m
+
     def prr(self, src: Position, dst: Position) -> float:
         return self._prr if self.in_range(src, dst) else 0.0
+
+    def prr_vector(self, origin: Position, positions: "np.ndarray") -> "np.ndarray":
+        return np.where(self.in_range_mask(origin, positions), self._prr, 0.0)
 
 
 class DistancePrrLinks:
@@ -103,6 +141,9 @@ class DistancePrrLinks:
     def in_range(self, src: Position, dst: Position) -> bool:
         return _distance(src, dst) <= self.range_m
 
+    def in_range_mask(self, origin: Position, positions: "np.ndarray") -> "np.ndarray":
+        return _distance_vector(origin, positions) <= self.range_m
+
     def prr(self, src: Position, dst: Position) -> float:
         distance = _distance(src, dst)
         if distance > self.range_m:
@@ -111,3 +152,13 @@ class DistancePrrLinks:
             return self.prr_connected
         span = self.range_m - self.connected_m
         return self.prr_connected * (self.range_m - distance) / span
+
+    def prr_vector(self, origin: Position, positions: "np.ndarray") -> "np.ndarray":
+        distance = _distance_vector(origin, positions)
+        span = self.range_m - self.connected_m
+        if span <= 0.0:
+            # connected_m == range_m: no transitional region exists.
+            return np.where(distance > self.range_m, 0.0, self.prr_connected)
+        prr = self.prr_connected * (self.range_m - distance) / span
+        prr = np.where(distance <= self.connected_m, self.prr_connected, prr)
+        return np.where(distance > self.range_m, 0.0, prr)

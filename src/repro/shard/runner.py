@@ -455,6 +455,13 @@ class _Supervisor:
         #: worker itself the moment it takes a fresher snapshot).
         self.clones: dict[int, _CloneRecord] = {}
         self.checkpoints = 0
+        #: Largest resident set (kB) observed across dormant clones — the
+        #: real cost of copy-on-write snapshots (ROADMAP item f).  Sampled
+        #: from ``/proc/<pid>/status`` at each announcement and at shutdown,
+        #: so it reflects how much of the snapshot the kernel had to
+        #: materialize as the parent diverged.  Stays 0 where /proc is
+        #: unavailable.
+        self.clone_rss_kb = 0
         self.recovered_from_checkpoint = 0
         #: Latest protocol round each shard has proven (heartbeats + ckpts).
         self.last_rounds = {i: 0 for i in range(runner.shards)}
@@ -508,6 +515,10 @@ class _Supervisor:
                     self._drain(handle)
             return list(self.per_shard), self._report()
         finally:
+            # Last RSS sample while the clones still exist: by shutdown the
+            # parents have diverged the most, so this is the COW high-water
+            # mark.
+            self._sample_clone_rss()
             # Unwoken clones block on their wake pipes; closing our end pops
             # their recv with EOF and they exit on their own.
             for record in self.clones.values():
@@ -587,7 +598,22 @@ class _Supervisor:
         self.clones[index] = _CloneRecord(checkpoint, wake_conn)
         self.checkpoints += 1
         self.last_rounds[index] = checkpoint.rounds
+        self._sample_clone_rss()
         self._check_recovered(index)
+
+    def _sample_clone_rss(self) -> None:
+        """Fold the dormant clones' current VmRSS into the high-water mark."""
+        peak = self.clone_rss_kb
+        for record in self.clones.values():
+            try:
+                with open(f"/proc/{record.checkpoint.pid}/status") as status:
+                    for line in status:
+                        if line.startswith("VmRSS:"):
+                            peak = max(peak, int(line.split()[1]))
+                            break
+            except (OSError, ValueError, IndexError):
+                continue  # clone already gone, or no /proc on this platform
+        self.clone_rss_kb = peak
 
     def _check_recovered(self, index: int, finished: bool = False) -> None:
         entry = self.recovering.get(index)
@@ -717,6 +743,8 @@ class _Supervisor:
         supervision: dict = {}
         if self.checkpoints:
             supervision["checkpoints"] = self.checkpoints
+            if self.clone_rss_kb:
+                supervision["clone_rss_kb"] = self.clone_rss_kb
         total_restarts = sum(self.restarts.values())
         if total_restarts:
             supervision["restarts"] = total_restarts

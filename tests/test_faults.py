@@ -23,6 +23,7 @@ windows each get an independent draw per frame.
 
 from __future__ import annotations
 
+import sys
 import time
 
 import pytest
@@ -633,8 +634,11 @@ class TestSelfHealing:
         ).run()
         # Undisturbed supervision reports snapshot accounting and nothing
         # else: no restarts, no incidents, no recoveries.
-        assert set(undisturbed.supervision) <= {"checkpoints"}
+        assert set(undisturbed.supervision) <= {"checkpoints", "clone_rss_kb"}
         assert undisturbed.supervision["checkpoints"] > 0
+        if sys.platform == "linux":
+            # The supervisor sampled the dormant clones' resident sets.
+            assert undisturbed.supervision["clone_rss_kb"] > 0
         healed = ShardedRunner(
             Scenario.from_spec(dict(BASE_SPEC, shards=2, faults=self.KILL)),
             hang_timeout_s=30.0,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.radio import Channel, Frame, PerfectLinks, RadioField, UniformLossLinks
-from repro.radio.field import NO_TX_END
+from repro.radio.field import ELIGIBLE_IDLE, ELIGIBLE_NEVER, NO_CS, NO_TX_END
 from repro.sim import Simulator
 from tests.test_radio import make_mote
 
@@ -48,6 +48,64 @@ class TestSlotLifecycle:
         for mote_id, slot in zip(range(1, 8), slots):
             assert field.slot_of[mote_id] == slot
             assert field.positions[slot, 0] == float(mote_id)
+
+    def test_eligible_key_tracks_power_and_tx_state(self):
+        # The fused comparand: ``eligible_key[slot] >= frame_end`` answers
+        # "powered and not mid-transmission" in one gather.
+        field = RadioField(capacity=2)
+        slot = field.allocate(1, (0.0, 0.0))
+        assert field.eligible_key[slot] == ELIGIBLE_IDLE
+        field.begin_tx(slot, 100, 200)
+        assert field.eligible_key[slot] == 100  # own tx start: < any overlap end
+        field.set_enabled(slot, False)
+        assert field.eligible_key[slot] == ELIGIBLE_NEVER
+        field.set_enabled(slot, True)
+        assert field.eligible_key[slot] == 100  # re-enabled mid-own-tx
+        field.end_tx(slot)
+        assert field.eligible_key[slot] == ELIGIBLE_IDLE
+        field.set_enabled(slot, False)
+        field.begin_tx(slot, 300, 400)
+        assert field.eligible_key[slot] == ELIGIBLE_NEVER  # disabled wins
+        field.end_tx(slot)
+        assert field.eligible_key[slot] == ELIGIBLE_NEVER
+
+    def test_cs_time_arms_and_clears(self):
+        field = RadioField(capacity=2)
+        slot = field.allocate(1, (0.0, 0.0))
+        assert field.cs_time[slot] == NO_CS
+        field.arm_cs(slot, 12345)
+        assert field.cs_time[slot] == 12345
+        field.clear_cs(slot)
+        assert field.cs_time[slot] == NO_CS
+
+    def test_release_resets_sense_and_reception_state(self):
+        field = RadioField(capacity=2)
+        slot = field.allocate(1, (0.0, 0.0), attach_seq=9)
+        assert field.attach_seq[slot] == 9
+        field.arm_cs(slot, 777)
+        field.frames_received[slot] = 3
+        field.release(1)
+        assert field.eligible_key[slot] == ELIGIBLE_NEVER
+        assert field.cs_time[slot] == NO_CS
+        assert field.attach_seq[slot] == -1
+        assert field.frames_received[slot] == 0
+        # A recycled slot starts clean for the next mote.
+        fresh = field.allocate(2, (1.0, 1.0), attach_seq=10)
+        assert fresh == slot
+        assert field.eligible_key[fresh] == ELIGIBLE_IDLE
+        assert field.attach_seq[fresh] == 10
+
+    def test_growth_extends_sense_arrays_with_neutral_fills(self):
+        field = RadioField(capacity=2)
+        for i in range(1, 6):
+            field.allocate(i, (float(i), 0.0), attach_seq=i)
+        assert field.eligible_key.size == field.capacity
+        assert field.cs_time.size == field.capacity
+        free = [s for s in range(field.capacity) if s not in field.slot_of.values()]
+        assert all(field.eligible_key[s] == ELIGIBLE_NEVER for s in free)
+        assert all(field.cs_time[s] == NO_CS for s in free)
+        assert all(field.attach_seq[s] == -1 for s in free)
+        assert all(field.frames_received[s] == 0 for s in free)
 
     def test_slots_of_gathers_in_order(self):
         field = RadioField()
@@ -113,6 +171,38 @@ class TestChannelMirrors:
         assert radios[2]._slot is None
         assert 3 not in field.slot_of
         assert not field.enabled[slot]
+
+    def test_cs_time_mirrors_armed_carrier_sense(self):
+        sim, channel, radios = self._deploy()
+        channel.track_cs = True  # the shard-worker bookkeeping, off by default
+        field = channel.field
+        slot = radios[0]._slot
+        assert field.cs_time[slot] == NO_CS
+        radios[0].send(Frame(1, 2, 0x10, b"x"))
+        # The initial-backoff carrier-sense event is armed in the mirror —
+        # this is what the shard worker's horizon() min-reduces over.
+        assert field.cs_time[slot] != NO_CS
+        assert field.cs_time[slot] >= sim.now
+        sim.run_until_idle()
+        assert field.cs_time[slot] == NO_CS
+
+    def test_attach_seq_mirrors_attach_order(self):
+        sim, channel, radios = self._deploy()
+        field = channel.field
+        seqs = [int(field.attach_seq[r._slot]) for r in radios]
+        assert seqs == sorted(seqs)
+        assert seqs == [r._attach_seq for r in radios]
+
+    def test_frames_received_folds_back_on_detach(self):
+        sim, channel, radios = self._deploy()
+        channel.vector_fanout_min = 1  # tally receptions in the field array
+        radios[0].send(Frame(1, 2, 0x10, b"x"))
+        sim.run_until_idle()
+        assert radios[1].frames_received == 1
+        assert channel.field.frames_received[radios[1]._slot] == 1
+        channel.detach(2)
+        # The per-slot tally folded into the radio before the slot reset.
+        assert radios[1].frames_received == 1
 
     def test_reattached_id_gets_fresh_state(self):
         sim, channel, radios = self._deploy()

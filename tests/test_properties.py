@@ -421,7 +421,38 @@ class TestDeliveryEquivalenceProperty:
             radios.append(radio)
         return sim, channel, radios, log
 
-    def _drive(self, channel_cls, operations, seed, vector_min=None):
+    @staticmethod
+    def _naive_busy(channel, radio):
+        """Carrier sense from first principles: walk every airborne
+        transmission and test audibility straight off the link model —
+        no hearer caches, no audible-slot arrays, no early exits."""
+        now = channel.sim.now
+        in_range = channel._link_model.in_range
+        busy = False
+        for tx in channel._on_air:
+            if tx.radio is radio or not (tx.start <= now < tx.end):
+                continue
+            if in_range(tx.radio.position, radio.position):
+                busy = True
+        return busy
+
+    def _assert_sense_consistent(self, channel, radios, detached):
+        """Both ``busy_for`` dispatch arms must agree with the naive
+        reference for every attached radio.  ``busy_for`` consumes no RNG,
+        so interrogating it mid-run cannot perturb the delivery stream the
+        enclosing equivalence property is checking."""
+        saved = channel.vector_sense_min
+        for index, radio in enumerate(radios):
+            if index in detached:
+                continue
+            naive = self._naive_busy(channel, radio)
+            channel.vector_sense_min = 1  # force the audible-slot gather
+            assert channel.busy_for(radio) == naive
+            channel.vector_sense_min = len(channel._on_air) + 1  # force scalar
+            assert channel.busy_for(radio) == naive
+        channel.vector_sense_min = saved
+
+    def _drive(self, channel_cls, operations, seed, vector_min=None, sense_check=False):
         sim, channel, radios, log = self._deploy(channel_cls, seed)
         if vector_min is not None:
             channel.vector_fanout_min = vector_min
@@ -461,7 +492,11 @@ class TestDeliveryEquivalenceProperty:
                 channel.prr_overrides.pop((src + 1, dst + 1), None)
             else:
                 sim.run(duration=ms(args[0]))
+            if sense_check:
+                self._assert_sense_consistent(channel, radios, detached)
         sim.run_until_idle()
+        if sense_check:
+            self._assert_sense_consistent(channel, radios, detached)
         return (
             log,
             channel.frames_transmitted,
@@ -487,6 +522,18 @@ class TestDeliveryEquivalenceProperty:
         vectorized = self._drive(Channel, operations, seed, vector_min=1)
         reference = self._drive(_NaiveChannel, operations, seed)
         assert vectorized == reference
+
+    @given(delivery_ops, st.integers(0, 7))
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_carrier_sense_paths_match_naive_reference(self, operations, seed):
+        """PR 10's extension: after *every* operation, both ``busy_for``
+        dispatch arms (audible-slot gather and scalar on-air scan) must
+        agree with a naive walk over the airborne transmissions — and the
+        interrogation must not disturb the delivery equivalence, since
+        carrier sense never consumes RNG."""
+        checked = self._drive(Channel, operations, seed, vector_min=1, sense_check=True)
+        reference = self._drive(_NaiveChannel, operations, seed)
+        assert checked == reference
 
 
 # ----------------------------------------------------------------------

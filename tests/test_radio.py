@@ -194,6 +194,38 @@ class TestChannel:
         # In the common case carrier sense avoids the collision entirely.
         assert len(got) >= 1
 
+    def test_idle_carrier_sense_early_outs_before_any_index(self):
+        # Nothing on the air answers from one list check: no per-tick
+        # filtering, no audible-slot cache build, no field gather.
+        sim, channel, radio_a, radio_b = self._pair()
+        channel.vector_sense_min = 1  # even "always vector" must not engage
+        for _ in range(3):
+            assert channel.busy_for(radio_a) is False
+            assert channel.busy_for(radio_b) is False
+        assert channel.sense_idle == 6
+        assert channel.sense_scalar == 0
+        assert channel.sense_vector == 0
+        assert channel._sense_tick == -1  # the per-tick memo never ran
+        assert channel._audible_slots == {}  # no audible-slot array was built
+
+    def test_carrier_sense_dispatch_counters_split_on_threshold(self):
+        sim, channel, radio_a, radio_b = self._pair()
+        radio_a.send(Frame(1, 2, 0x10, b"x"))
+        while not channel._on_air:  # step past the initial backoff
+            sim.run(duration=ms(1))
+        # The MAC's own pre-send carrier sense already ran; count deltas.
+        idle, scalar, vector = channel.sense_idle, channel.sense_scalar, channel.sense_vector
+        channel.vector_sense_min = 1
+        assert channel.busy_for(radio_b) is True  # audible-slot gather
+        channel.vector_sense_min = len(channel._on_air) + 1
+        assert channel.busy_for(radio_b) is True  # scalar on-air scan
+        assert channel.sense_vector == vector + 1
+        assert channel.sense_scalar == scalar + 1
+        assert channel.sense_idle == idle
+        sim.run_until_idle()
+        assert channel.busy_for(radio_b) is False
+        assert channel.sense_idle == idle + 1
+
     def test_duplicate_attach_rejected(self):
         sim = Simulator()
         channel = Channel(sim)
